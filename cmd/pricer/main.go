@@ -1,0 +1,91 @@
+// Command pricer values a single option with every applicable method and
+// prints the cross-method comparison — the quickest way to sanity-check
+// the numerical kernels against each other.
+//
+// Usage:
+//
+//	pricer [-type call|put] [-style european|american]
+//	       [-spot 100] [-strike 100] [-expiry 1]
+//	       [-rate 0.05] [-vol 0.2] [-greeks]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"finbench"
+)
+
+func main() {
+	typ := flag.String("type", "call", "call or put")
+	style := flag.String("style", "european", "european or american")
+	spot := flag.Float64("spot", 100, "underlying price")
+	strike := flag.Float64("strike", 100, "strike price")
+	expiry := flag.Float64("expiry", 1, "years to expiry")
+	rate := flag.Float64("rate", 0.05, "risk-free rate")
+	vol := flag.Float64("vol", 0.2, "implied volatility")
+	greeks := flag.Bool("greeks", false, "print Black-Scholes greeks")
+	flag.Parse()
+
+	opt := finbench.Option{Spot: *spot, Strike: *strike, Expiry: *expiry}
+	switch *typ {
+	case "call":
+		opt.Type = finbench.Call
+	case "put":
+		opt.Type = finbench.Put
+	default:
+		fmt.Fprintf(os.Stderr, "pricer: unknown type %q\n", *typ)
+		os.Exit(2)
+	}
+	switch *style {
+	case "european":
+		opt.Style = finbench.European
+	case "american":
+		opt.Style = finbench.American
+	default:
+		fmt.Fprintf(os.Stderr, "pricer: unknown style %q\n", *style)
+		os.Exit(2)
+	}
+	mkt := finbench.Market{Rate: *rate, Volatility: *vol}
+
+	fmt.Printf("%s %s  S=%g K=%g T=%g  r=%g sigma=%g\n\n",
+		opt.Style, opt.Type, opt.Spot, opt.Strike, opt.Expiry, mkt.Rate, mkt.Volatility)
+	methods := []finbench.Method{
+		finbench.ClosedForm, finbench.BinomialTree,
+		finbench.FiniteDifference, finbench.MonteCarlo,
+	}
+	for _, m := range methods {
+		res, err := finbench.Price(opt, mkt, m, nil)
+		if err != nil {
+			fmt.Printf("%-18s  n/a (%v)\n", m, err)
+			continue
+		}
+		if res.StdErr > 0 {
+			fmt.Printf("%-18s  %.6f  (+- %.6f)\n", m, res.Price, res.StdErr)
+		} else {
+			fmt.Printf("%-18s  %.6f\n", m, res.Price)
+		}
+	}
+	if res, err := finbench.PriceTrinomial(opt, mkt, 1024); err == nil {
+		fmt.Printf("%-18s  %.6f\n", "trinomial-tree", res.Price)
+	}
+	if opt.Style == finbench.American && opt.Type == finbench.Put {
+		if res, err := finbench.PriceAmericanPutLSMC(opt, mkt, 100000, 50, 1); err == nil {
+			fmt.Printf("%-18s  %.6f  (+- %.6f)\n", "longstaff-schwartz", res.Price, res.StdErr)
+		}
+	}
+	if *greeks {
+		g, err := finbench.ComputeGreeks(opt, mkt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pricer: greeks: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ngreeks (Black-Scholes):\n")
+		fmt.Printf("  delta  %+.6f (call) %+.6f (put)\n", g.DeltaCall, g.DeltaPut)
+		fmt.Printf("  gamma  %+.6f\n", g.Gamma)
+		fmt.Printf("  vega   %+.6f\n", g.Vega)
+		fmt.Printf("  theta  %+.6f (call) %+.6f (put)\n", g.ThetaCall, g.ThetaPut)
+		fmt.Printf("  rho    %+.6f (call) %+.6f (put)\n", g.RhoCall, g.RhoPut)
+	}
+}

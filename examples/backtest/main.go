@@ -1,0 +1,75 @@
+// Backtest: the third STAC workload pillar the paper cites ("strategy
+// backtesting"). A short-call position is delta-hedged over simulated
+// paths at several rebalancing frequencies; Black-Scholes theory says the
+// hedging-error standard deviation shrinks like 1/sqrt(rebalances), which
+// the simulation reproduces.
+//
+//	go run ./examples/backtest
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"finbench"
+)
+
+func main() {
+	const (
+		spot   = 100.0
+		strike = 100.0
+		expiry = 0.25
+		nSims  = 4000
+	)
+	mkt := finbench.Market{Rate: 0.02, Volatility: 0.3}
+	opt := finbench.Option{Type: finbench.Call, Style: finbench.European,
+		Spot: spot, Strike: strike, Expiry: expiry}
+	premium, err := finbench.Price(opt, mkt, finbench.ClosedForm, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Delta-hedging a short call (S=K=%g, T=%g): premium %.4f\n\n", spot, expiry, premium.Price)
+	fmt.Printf("%12s %14s %14s %18s\n", "rebalances", "mean P&L", "std P&L", "std x sqrt(N)")
+
+	for _, steps := range []int{8, 32, 128} {
+		ps, err := finbench.NewPathSimulator(steps, expiry, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		paths := ps.Simulate(nSims, spot, mkt)
+		dt := expiry / float64(steps)
+
+		var sum, sum2 float64
+		for _, path := range paths {
+			// Sell the call, hedge with delta shares, rebalance each step.
+			cash := premium.Price
+			g, _ := finbench.ComputeGreeks(opt, mkt)
+			delta := g.DeltaCall
+			cash -= delta * spot
+			for k := 1; k < steps; k++ {
+				cash *= math.Exp(mkt.Rate * dt)
+				sNow := path[k]
+				o := opt
+				o.Spot = sNow
+				o.Expiry = expiry - float64(k)*dt
+				gg, err := finbench.ComputeGreeks(o, mkt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cash -= (gg.DeltaCall - delta) * sNow // rebalance
+				delta = gg.DeltaCall
+			}
+			cash *= math.Exp(mkt.Rate * dt)
+			sT := path[steps]
+			payoff := math.Max(sT-strike, 0)
+			pnl := cash + delta*sT - payoff
+			sum += pnl
+			sum2 += pnl * pnl
+		}
+		mean := sum / nSims
+		std := math.Sqrt(sum2/nSims - mean*mean)
+		fmt.Printf("%12d %14.4f %14.4f %18.4f\n", steps, mean, std, std*math.Sqrt(float64(steps)))
+	}
+	fmt.Println("\nstd x sqrt(N) is ~constant: discrete hedging error decays like 1/sqrt(N).")
+}

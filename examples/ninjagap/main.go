@@ -1,0 +1,59 @@
+// Ninja gap: measure, on the host machine, how much throughput each
+// optimization level of the batch Black-Scholes engine recovers over the
+// naive reference — the paper's central question ("can traditional
+// programming bridge the Ninja performance gap?"), answered natively in Go.
+//
+// The same ladder the paper reports for AVX/KNC holds in pure Go: the SOA
+// transposition removes the strided AOS access pattern, and the batched
+// math removes per-call overhead.
+//
+//	go run ./examples/ninjagap
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"finbench"
+)
+
+const nOptions = 500_000
+
+func measure(b *finbench.Batch, mkt finbench.Market, level finbench.OptLevel) float64 {
+	// Warm up, then take the best of three.
+	if err := finbench.PriceBatch(b, mkt, level); err != nil {
+		log.Fatal(err)
+	}
+	best := 0.0
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		if err := finbench.PriceBatch(b, mkt, level); err != nil {
+			log.Fatal(err)
+		}
+		if th := float64(nOptions) / time.Since(start).Seconds(); th > best {
+			best = th
+		}
+	}
+	return best
+}
+
+func main() {
+	mkt := finbench.Market{Rate: 0.02, Volatility: 0.3}
+	b := finbench.NewBatch(nOptions)
+	for i := 0; i < nOptions; i++ {
+		b.Spots[i] = 50 + float64(i%150)
+		b.Strikes[i] = 50 + float64((i*7)%150)
+		b.Expiries[i] = 0.1 + float64(i%40)/8
+	}
+
+	fmt.Printf("Black-Scholes batch throughput on this host (%d options):\n\n", nOptions)
+	base := measure(b, mkt, finbench.LevelBasic)
+	fmt.Printf("  %-14s %8.2f Mopts/s   1.00x\n", finbench.LevelBasic, base/1e6)
+	for _, level := range []finbench.OptLevel{finbench.LevelIntermediate, finbench.LevelAdvanced} {
+		th := measure(b, mkt, level)
+		fmt.Printf("  %-14s %8.2f Mopts/s   %.2fx\n", level, th/1e6, th/base)
+	}
+	fmt.Println("\nThe paper's Ninja gap for this kernel: 2.4x on SNB-EP, 10x on KNC")
+	fmt.Println("(the AOS->SOA transposition is the key optimization on both).")
+}

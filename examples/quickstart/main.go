@@ -1,0 +1,54 @@
+// Quickstart: price one European option with all four methods of the
+// benchmark, compute its greeks, and recover implied volatility.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"finbench"
+)
+
+func main() {
+	opt := finbench.Option{
+		Type: finbench.Call, Style: finbench.European,
+		Spot: 100, Strike: 105, Expiry: 0.5,
+	}
+	mkt := finbench.Market{Rate: 0.02, Volatility: 0.30}
+
+	fmt.Printf("Pricing a %s %s: S=%g K=%g T=%g (r=%g, sigma=%g)\n\n",
+		opt.Style, opt.Type, opt.Spot, opt.Strike, opt.Expiry, mkt.Rate, mkt.Volatility)
+
+	// Every numerical method converges to the same value.
+	for _, method := range []finbench.Method{
+		finbench.ClosedForm, finbench.BinomialTree,
+		finbench.FiniteDifference, finbench.MonteCarlo,
+	} {
+		res, err := finbench.Price(opt, mkt, method, nil)
+		if err != nil {
+			log.Fatalf("%v: %v", method, err)
+		}
+		if res.StdErr > 0 {
+			fmt.Printf("  %-16s %.4f  (+- %.4f Monte Carlo stderr)\n", method, res.Price, res.StdErr)
+		} else {
+			fmt.Printf("  %-16s %.4f\n", method, res.Price)
+		}
+	}
+
+	g, err := finbench.ComputeGreeks(opt, mkt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGreeks: delta=%.4f gamma=%.4f vega=%.4f theta=%.4f\n",
+		g.DeltaCall, g.Gamma, g.Vega, g.ThetaCall)
+
+	// Round-trip: recover the volatility from the closed-form price.
+	res, _ := finbench.Price(opt, mkt, finbench.ClosedForm, nil)
+	vol, err := finbench.ImpliedVolatility(res.Price, opt, mkt.Rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Implied volatility of %.4f: %.6f (true %.2f)\n", res.Price, vol, mkt.Volatility)
+}

@@ -1,0 +1,55 @@
+// What-if: profile a pricing batch on this machine, then ask the paper's
+// machine models what the same operation mix would achieve on the 2012
+// Xeon E5-2680 and the Xeon Phi — including which side of the roofline it
+// lands on, drawn as an ASCII chart.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"finbench"
+)
+
+func main() {
+	const n = 100_000
+	b := finbench.NewBatch(n)
+	for i := 0; i < n; i++ {
+		b.Spots[i] = 50 + float64(i%150)
+		b.Strikes[i] = 50 + float64((i*13)%150)
+		b.Expiries[i] = 0.1 + float64(i%40)/8
+	}
+	mkt := finbench.Market{Rate: 0.02, Volatility: 0.3}
+
+	fmt.Println("Modelled Black-Scholes batch throughput by level and machine:")
+	fmt.Printf("%-14s %-8s %14s %12s %10s\n", "level", "machine", "options/s", "GFLOP/s", "bound")
+	points := map[string]map[string][2]float64{"SNB-EP": {}, "KNC": {}}
+	for _, level := range []finbench.OptLevel{
+		finbench.LevelBasic, finbench.LevelIntermediate, finbench.LevelAdvanced,
+	} {
+		for _, m := range finbench.Machines() {
+			// Profile at the machine's SIMD width.
+			mix, err := finbench.ProfileBatch(b, mkt, level, m.SIMDWidthDP)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pred, err := finbench.PredictThroughput(mix, m.Name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-14s %-8s %14.3e %12.1f %10s\n",
+				level, m.Name, pred.ItemsPerSec, pred.GFLOPs, pred.Bound)
+			points[m.Name][level.String()] = [2]float64{mix.ArithmeticIntensity(), pred.GFLOPs}
+		}
+	}
+	fmt.Println()
+	for _, m := range finbench.Machines() {
+		chart, err := finbench.Roofline(m.Name, points[m.Name])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(chart)
+	}
+}

@@ -1,0 +1,362 @@
+package finbench
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+var (
+	tOpt = Option{Type: Call, Style: European, Spot: 100, Strike: 100, Expiry: 1}
+	tMkt = Market{Rate: 0.05, Volatility: 0.2}
+)
+
+func TestPriceClosedFormKnownValue(t *testing.T) {
+	res, err := Price(tOpt, tMkt, ClosedForm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Price-10.450583572185565) > 1e-12 {
+		t.Fatalf("call = %.15f", res.Price)
+	}
+	put := tOpt
+	put.Type = Put
+	res, err = Price(put, tMkt, ClosedForm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Price-5.573526022256971) > 1e-12 {
+		t.Fatalf("put = %.15f", res.Price)
+	}
+}
+
+// Every method must agree on a European call to its own discretization
+// accuracy.
+func TestMethodsAgreeEuropean(t *testing.T) {
+	want, _ := Price(tOpt, tMkt, ClosedForm, nil)
+	for _, method := range []Method{BinomialTree, FiniteDifference, MonteCarlo} {
+		res, err := Price(tOpt, tMkt, method, &Config{MCPaths: 1 << 17})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		tol := 0.05
+		if method == MonteCarlo {
+			tol = 5 * res.StdErr
+		}
+		if math.Abs(res.Price-want.Price) > tol {
+			t.Fatalf("%v price %g vs closed form %g", method, res.Price, want.Price)
+		}
+	}
+}
+
+func TestMethodsAgreeEuropeanPut(t *testing.T) {
+	put := tOpt
+	put.Type = Put
+	want, _ := Price(put, tMkt, ClosedForm, nil)
+	for _, method := range []Method{BinomialTree, FiniteDifference, MonteCarlo} {
+		res, err := Price(put, tMkt, method, &Config{MCPaths: 1 << 16})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		tol := 0.05
+		if method == MonteCarlo {
+			tol = 5*res.StdErr + 1e-9
+		}
+		if math.Abs(res.Price-want.Price) > tol {
+			t.Fatalf("%v put %g vs closed form %g", method, res.Price, want.Price)
+		}
+	}
+}
+
+// Binomial and Crank-Nicolson must agree on the American put.
+func TestAmericanPutCrossMethod(t *testing.T) {
+	amer := Option{Type: Put, Style: American, Spot: 100, Strike: 110, Expiry: 1}
+	bin, err := Price(amer, tMkt, BinomialTree, &Config{BinomialSteps: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := Price(amer, tMkt, FiniteDifference, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bin.Price-fd.Price) > 0.03*bin.Price {
+		t.Fatalf("binomial %g vs crank-nicolson %g", bin.Price, fd.Price)
+	}
+	euro := amer
+	euro.Style = European
+	ep, _ := Price(euro, tMkt, ClosedForm, nil)
+	if bin.Price < ep.Price-1e-9 {
+		t.Fatal("American put below European")
+	}
+}
+
+func TestAmericanCallEqualsEuropean(t *testing.T) {
+	call := Option{Type: Call, Style: American, Spot: 100, Strike: 95, Expiry: 1}
+	euro, _ := Price(Option{Type: Call, Style: European, Spot: 100, Strike: 95, Expiry: 1}, tMkt, ClosedForm, nil)
+	for _, method := range []Method{BinomialTree, FiniteDifference} {
+		res, err := Price(call, tMkt, method, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if math.Abs(res.Price-euro.Price) > 0.05 {
+			t.Fatalf("%v American call %g vs European %g", method, res.Price, euro.Price)
+		}
+	}
+}
+
+func TestPriceErrors(t *testing.T) {
+	if _, err := Price(Option{}, tMkt, ClosedForm, nil); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("zero option: %v", err)
+	}
+	amer := tOpt
+	amer.Style = American
+	if _, err := Price(amer, tMkt, ClosedForm, nil); !errors.Is(err, ErrMethodStyle) {
+		t.Fatalf("closed-form American: %v", err)
+	}
+	if _, err := Price(amer, tMkt, MonteCarlo, nil); !errors.Is(err, ErrMethodStyle) {
+		t.Fatalf("MC American: %v", err)
+	}
+	if _, err := Price(tOpt, tMkt, Method(99), nil); err == nil {
+		t.Fatal("unknown method did not error")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Call.String() != "call" || Put.String() != "put" {
+		t.Fatal("OptionType strings")
+	}
+	if European.String() != "european" || American.String() != "american" {
+		t.Fatal("ExerciseStyle strings")
+	}
+	if ClosedForm.String() != "closed-form" || MonteCarlo.String() != "monte-carlo" {
+		t.Fatal("Method strings")
+	}
+	if LevelBasic.String() != "basic" || LevelAdvanced.String() != "advanced" {
+		t.Fatal("OptLevel strings")
+	}
+}
+
+func TestComputeGreeks(t *testing.T) {
+	g, err := ComputeGreeks(tOpt, tMkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DeltaCall <= 0 || g.DeltaCall >= 1 || g.Gamma <= 0 || g.Vega <= 0 {
+		t.Fatalf("implausible greeks: %+v", g)
+	}
+	if _, err := ComputeGreeks(Option{}, tMkt); err == nil {
+		t.Fatal("invalid option accepted")
+	}
+}
+
+func TestImpliedVolatility(t *testing.T) {
+	res, _ := Price(tOpt, tMkt, ClosedForm, nil)
+	vol, err := ImpliedVolatility(res.Price, tOpt, tMkt.Rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vol-0.2) > 1e-8 {
+		t.Fatalf("implied vol = %g", vol)
+	}
+	put := tOpt
+	put.Type = Put
+	if _, err := ImpliedVolatility(1, put, 0.05); err == nil {
+		t.Fatal("put accepted by call-only solver")
+	}
+}
+
+func TestPriceBatchLevelsAgree(t *testing.T) {
+	const n = 1000
+	b := NewBatch(n)
+	for i := 0; i < n; i++ {
+		b.Spots[i] = 50 + float64(i%100)
+		b.Strikes[i] = 60 + float64(i%80)
+		b.Expiries[i] = 0.25 + float64(i%10)/5
+	}
+	if err := PriceBatch(b, tMkt, LevelBasic); err != nil {
+		t.Fatal(err)
+	}
+	wantCalls := append([]float64(nil), b.Calls...)
+	wantPuts := append([]float64(nil), b.Puts...)
+	for _, level := range []OptLevel{LevelIntermediate, LevelAdvanced} {
+		if err := PriceBatch(b, tMkt, level); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(b.Calls[i]-wantCalls[i]) > 1e-9 || math.Abs(b.Puts[i]-wantPuts[i]) > 1e-9 {
+				t.Fatalf("%v option %d differs from basic", level, i)
+			}
+		}
+	}
+	if err := PriceBatch(b, tMkt, OptLevel(9)); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if err := PriceBatch(NewBatch(0), tMkt, LevelBasic); err != nil {
+		t.Fatal("empty batch errored")
+	}
+}
+
+func TestBatchAgainstScalar(t *testing.T) {
+	b := NewBatch(3)
+	copy(b.Spots, []float64{100, 90, 110})
+	copy(b.Strikes, []float64{100, 100, 100})
+	copy(b.Expiries, []float64{1, 0.5, 2})
+	if err := PriceBatch(b, tMkt, LevelAdvanced); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		want, _ := Price(Option{Type: Call, Style: European,
+			Spot: b.Spots[i], Strike: b.Strikes[i], Expiry: b.Expiries[i]}, tMkt, ClosedForm, nil)
+		if math.Abs(b.Calls[i]-want.Price) > 1e-9 {
+			t.Fatalf("batch call %d = %g, want %g", i, b.Calls[i], want.Price)
+		}
+	}
+}
+
+func TestProfileBatch(t *testing.T) {
+	b := NewBatch(64)
+	for i := range b.Spots {
+		b.Spots[i], b.Strikes[i], b.Expiries[i] = 100, 100, 1
+	}
+	mix, err := ProfileBatch(b, tMkt, LevelIntermediate, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Items != 64 || mix.Total() == 0 {
+		t.Fatalf("profile empty: %v", mix)
+	}
+	if _, err := ProfileBatch(b, tMkt, OptLevel(9), 8); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestPathSimulator(t *testing.T) {
+	ps, err := NewPathSimulator(64, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := ps.Simulate(2000, 100, tMkt)
+	if len(paths) != 2000 || len(paths[0]) != 65 {
+		t.Fatalf("shape %dx%d", len(paths), len(paths[0]))
+	}
+	// Martingale check: discounted terminal mean ~ spot.
+	var mean float64
+	for _, p := range paths {
+		if p[0] != 100 {
+			t.Fatal("path does not start at spot")
+		}
+		mean += p[64]
+	}
+	mean /= float64(len(paths))
+	want := 100 * math.Exp(tMkt.Rate*1)
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("terminal mean %g, want %g", mean, want)
+	}
+}
+
+func TestPathSimulatorValidation(t *testing.T) {
+	for _, steps := range []int{0, 1, 3, 48} {
+		if _, err := NewPathSimulator(steps, 1, 1); err == nil {
+			t.Fatalf("steps=%d accepted", steps)
+		}
+	}
+}
+
+func TestSimulateTerminalMoments(t *testing.T) {
+	ps, _ := NewPathSimulator(64, 2, 3)
+	term := ps.SimulateTerminal(50000, 100, tMkt)
+	var mean float64
+	for _, s := range term {
+		mean += s
+	}
+	mean /= float64(len(term))
+	want := 100 * math.Exp(tMkt.Rate*2)
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("terminal mean %g, want %g", mean, want)
+	}
+}
+
+func TestMonteCarloPutParity(t *testing.T) {
+	put := tOpt
+	put.Type = Put
+	call, _ := Price(tOpt, tMkt, MonteCarlo, &Config{MCPaths: 1 << 15, Seed: 9})
+	putRes, _ := Price(put, tMkt, MonteCarlo, &Config{MCPaths: 1 << 15, Seed: 9})
+	want := 100 - 100*math.Exp(-tMkt.Rate)
+	if math.Abs((call.Price-putRes.Price)-want) > 1e-9 {
+		t.Fatalf("MC parity violated: %g vs %g", call.Price-putRes.Price, want)
+	}
+}
+
+func TestMachinesInfo(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 2 || ms[0].Name != "SNB-EP" || ms[1].Name != "KNC" {
+		t.Fatalf("Machines() = %v", ms)
+	}
+	if ms[0].Cores != 16 || ms[1].Cores != 60 {
+		t.Fatal("core counts wrong")
+	}
+	if ms[1].PeakDPGFLOPs != 1063 || ms[0].StreamBW != 76 {
+		t.Fatal("Table I values wrong")
+	}
+}
+
+func TestPredictThroughput(t *testing.T) {
+	b := NewBatch(8192)
+	for i := range b.Spots {
+		b.Spots[i], b.Strikes[i], b.Expiries[i] = 100, 100, 1
+	}
+	mix, err := ProfileBatch(b, tMkt, LevelIntermediate, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PredictThroughput(mix, "KNC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ItemsPerSec < 1e8 || p.ItemsPerSec > 1e10 {
+		t.Fatalf("KNC prediction %g options/s implausible", p.ItemsPerSec)
+	}
+	if p.Bound != "compute" && p.Bound != "bandwidth" {
+		t.Fatalf("bound = %q", p.Bound)
+	}
+	if _, err := PredictThroughput(mix, "GPU"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestRooflineChart(t *testing.T) {
+	chart, err := Roofline("SNB-EP", map[string][2]float64{
+		"black-scholes": {5, 120},
+		"binomial":      {200, 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SNB-EP roofline", "A: ", "B: ", "peak 346"} {
+		if !strings.Contains(chart, want) {
+			t.Fatalf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	// The roof line itself must be drawn.
+	if strings.Count(chart, "-") < 20 {
+		t.Fatal("roof not drawn")
+	}
+	if _, err := Roofline("nope", nil); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestTrinomialAsMethod(t *testing.T) {
+	res, err := Price(tOpt, tMkt, TrinomialTree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Price(tOpt, tMkt, ClosedForm, nil)
+	if math.Abs(res.Price-want.Price) > 0.05 {
+		t.Fatalf("trinomial method %g vs closed form %g", res.Price, want.Price)
+	}
+	if res.Method != TrinomialTree || TrinomialTree.String() != "trinomial-tree" {
+		t.Fatal("method labelling wrong")
+	}
+}

@@ -1,0 +1,3 @@
+module finbench
+
+go 1.22

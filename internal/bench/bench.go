@@ -1,0 +1,230 @@
+// Package bench is the experiment harness: one entry per table or figure
+// of the paper's evaluation (Sec. IV), each able to regenerate its rows.
+//
+// Every experiment runs in two modes:
+//
+//   - Model: the kernels execute instrumented (internal/vec counting) at
+//     each optimization level and SIMD width, and internal/machine converts
+//     the measured operation mixes into predicted throughput for SNB-EP and
+//     KNC. These numbers are compared against the paper's, row by row;
+//     EXPERIMENTS.md records the comparison. Matching target is shape —
+//     orderings, ratios, and roofline proximity — not absolute cycles.
+//   - Measure: the same kernels execute uninstrumented on the host and are
+//     wall-clock timed, demonstrating that the optimization ladder (SOA
+//     over AOS, tiling, RNG interleaving, wavefront SIMD) also holds
+//     natively in Go.
+//
+// Paper reference values carry a provenance tag: values printed in the
+// paper's text or tables are exact; bar heights only shown in figures are
+// derived from the paper's stated ratios and bounds (see paper.go).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MachineCol identifies a throughput column.
+const (
+	ColSNB = "SNB-EP"
+	ColKNC = "KNC"
+)
+
+// Provenance describes how a paper reference value was obtained.
+type Provenance int
+
+const (
+	// Stated: printed as a number in the paper's text or tables.
+	Stated Provenance = iota
+	// Derived: computed from ratios/bounds the paper states.
+	Derived
+	// None: the paper gives no usable value for this cell.
+	None
+)
+
+// String renders the provenance tag used in tables.
+func (p Provenance) String() string {
+	switch p {
+	case Stated:
+		return "stated"
+	case Derived:
+		return "derived"
+	default:
+		return "-"
+	}
+}
+
+// Row is one bar/line of an experiment: an optimization level (or table
+// row) with paper and modelled throughput per machine.
+type Row struct {
+	Label string
+	// Paper and Model map machine name to items/second.
+	Paper map[string]float64
+	Model map[string]float64
+	// Prov tags the paper values' provenance.
+	Prov Provenance
+	// Host holds the measured wall-clock throughput (Measure mode only).
+	Host float64
+}
+
+// Result is a regenerated table/figure.
+type Result struct {
+	ID    string
+	Title string
+	// Units of the throughput numbers (e.g. "options/s").
+	Units string
+	// Cols names the value columns; empty means the default machine pair
+	// {SNB-EP, KNC}. Ablations use custom columns (e.g. MC vs QMC).
+	Cols []string
+	Rows []Row
+	// Bounds optionally holds the roofline bound per machine (the
+	// "Bandwidth-bound"/"Compute-bound" line in the paper's charts).
+	Bounds map[string]float64
+	Notes  []string
+}
+
+// Experiment is one regenerable artifact of the paper.
+type Experiment struct {
+	ID          string
+	Title       string
+	Units       string
+	Description string
+	// Model regenerates the paper comparison; scale (0,1] shrinks the
+	// workload for quick runs (1 = full experiment size).
+	Model func(scale float64) (*Result, error)
+	// Measure times the kernels on the host; nil when not applicable.
+	Measure func(scale float64) (*Result, error)
+}
+
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// Experiments lists all registered experiments in paper order.
+func Experiments() []*Experiment {
+	out := make([]*Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+func order(id string) int {
+	for i, k := range []string{"tab1", "fig4", "fig5", "fig6", "tab2", "fig8", "ninja",
+		"ablate-tile", "ablate-rng", "ablate-qmc", "ablate-width"} {
+		if id == k {
+			return i
+		}
+	}
+	return 100
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range registry {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// human renders a throughput in engineering units.
+func human(v float64) string {
+	switch {
+	case v == 0:
+		return "-"
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gK", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Table renders the result as an aligned text table comparing paper and
+// model values (and host throughput when present).
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s [%s]\n", r.ID, r.Title, r.Units)
+	hasHost := false
+	for _, row := range r.Rows {
+		if row.Host != 0 {
+			hasHost = true
+		}
+	}
+	if hasHost {
+		fmt.Fprintf(&b, "%-42s %12s\n", "level", "host")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%-42s %12s\n", row.Label, human(row.Host))
+		}
+		return b.String()
+	}
+	cols := r.Cols
+	if len(cols) == 0 {
+		cols = []string{ColSNB, ColKNC}
+	}
+	fmt.Fprintf(&b, "%-42s", "level")
+	for _, col := range cols {
+		fmt.Fprintf(&b, " %10s %10s %7s", col+":paper", col+":model", "ratio")
+	}
+	fmt.Fprintf(&b, " %9s\n", "prov")
+	ratio := func(model, paper float64) string {
+		if paper == 0 || model == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", model/paper)
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-42s", row.Label)
+		for _, col := range cols {
+			fmt.Fprintf(&b, " %10s %10s %7s",
+				human(row.Paper[col]), human(row.Model[col]), ratio(row.Model[col], row.Paper[col]))
+		}
+		fmt.Fprintf(&b, " %9s\n", row.Prov)
+	}
+	if len(r.Bounds) > 0 {
+		fmt.Fprintf(&b, "%-42s", "roofline bound")
+		for _, col := range cols {
+			fmt.Fprintf(&b, " %10s %10s %7s", human(r.Bounds[col]), "", "")
+		}
+		fmt.Fprintln(&b)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated rows for plotting.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "label,snb_paper,snb_model,knc_paper,knc_model,host,provenance")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%q,%g,%g,%g,%g,%g,%s\n", row.Label,
+			row.Paper[ColSNB], row.Model[ColSNB],
+			row.Paper[ColKNC], row.Model[ColKNC], row.Host, row.Prov)
+	}
+	return b.String()
+}
+
+// timeIt measures the wall-clock throughput of f processing items work
+// units, repeating until at least minDur has elapsed.
+func timeIt(items int, f func()) float64 {
+	const minDur = 200 * time.Millisecond
+	// Warm-up run.
+	f()
+	var elapsed time.Duration
+	runs := 0
+	for elapsed < minDur {
+		start := time.Now()
+		f()
+		elapsed += time.Since(start)
+		runs++
+	}
+	return float64(items) * float64(runs) / elapsed.Seconds()
+}

@@ -1,0 +1,98 @@
+package bench
+
+// Paper reference values. Values the paper prints as numbers (Table II,
+// the Crank-Nicolson options/second figures in Sec. IV-E3, the roofline
+// bounds) are Stated. Bar heights that appear only in figures are Derived
+// here from relations the paper states in prose, with the derivation
+// recorded; EXPERIMENTS.md carries the same provenance notes.
+
+// Fig. 4 — Black-Scholes, millions of options per second.
+//
+// Derivation chain: B/40 bounds are 1.9e9 (SNB-EP) and 3.75e9 (KNC)
+// [stated]; "SNB-EP achieves 84% of the bound" => advanced SNB = 1.596e9;
+// "KNC achieves 60%" => advanced KNC = 2.25e9 [stated percentages]. "On
+// KNC, the reference version is 3x slower than on SNB-EP" and "performance
+// improves by 10x" with AOS->SOA; "VML ... shows no benefit over SVML" on
+// KNC => intermediate KNC = advanced KNC = 2.25e9, reference KNC = 225e6,
+// reference SNB = 675e6. Intermediate SNB is the one bar with no stated
+// relation; the paper says VML improves on SVML on SNB-EP, so it lies
+// between reference and advanced (recorded as 1.2e9, figure-eyeball).
+var paperFig4 = map[string]map[string]float64{
+	"Basic (Reference, AOS)":    {ColSNB: 675e6, ColKNC: 225e6},
+	"Intermediate (AOS to SOA)": {ColSNB: 1.2e9, ColKNC: 2.25e9},
+	"Advanced (Using VML)":      {ColSNB: 1.596e9, ColKNC: 2.25e9},
+}
+
+var paperFig4Bounds = map[string]float64{ColSNB: 1.9e9, ColKNC: 3.75e9}
+
+// Fig. 5 — binomial tree, options per second at N=1024.
+//
+// Derivation: compute bound = peak / (3N(N+1)/2) = 219.8e3 (SNB-EP) and
+// 675.4e3 (KNC) [stated formula]; "SNB-EP comes within 10% of this bound"
+// => advanced SNB = 198e3; "KNC comes within 30%" => advanced KNC = 473e3
+// ("overall, KNC is 2.6x faster than SNB-EP": 473/198 = 2.4x, consistent
+// to rounding). "SIMD across options hardly improves performance" and
+// "combined with register tiling, performance increases by more than 2x"
+// => reference/intermediate SNB ~ 95e3; "KNC is 1.4x faster than SNB-EP"
+// for the reference => reference KNC ~ 133e3; "loop unrolling ... KNC ...
+// as high as 1.4x" splits KNC's advanced into 338e3 (tiled) and 473e3
+// (tiled+unrolled); unrolling has "little effect" on SNB-EP.
+var paperFig5N1024 = map[string]map[string]float64{
+	"Basic (Reference)":                  {ColSNB: 95e3, ColKNC: 133e3},
+	"Intermediate (SIMD across options)": {ColSNB: 97e3, ColKNC: 136e3},
+	"Advanced (Register tiling)":         {ColSNB: 198e3, ColKNC: 338e3},
+	"Advanced (+unroll)":                 {ColSNB: 198e3, ColKNC: 473e3},
+}
+
+var paperFig5N1024Bounds = map[string]float64{ColSNB: 219.8e3, ColKNC: 675.4e3}
+
+// Fig. 6 — Brownian bridge, 64-step double-precision paths per second.
+//
+// Derivation: "at the basic level ... KNC is 25% slower than SNB-EP";
+// with intermediate optimizations "both architectures are memory
+// bandwidth-bound, and the performance of KNC exceeds that of SNB-EP by
+// the difference [in] their memory bandwidths" (150/76 = 1.97x); the
+// streamed traffic is 512 B of normals in plus 520 B of path out per
+// simulation, giving bounds of 73.6e6 and 145e6; "the advanced
+// optimizations allow both architectures to become compute-bound. KNC is
+// 2x faster than SNB-EP". Absolute heights are figure-eyeball consistent
+// with a 300e6 y-axis: basic 30e6/22.5e6, advanced ~135e6/270e6.
+var paperFig6 = map[string]map[string]float64{
+	"Basic (pragma simd, omp, unroll)": {ColSNB: 30e6, ColKNC: 22.5e6},
+	"Intermediate (SIMD across paths)": {ColSNB: 70e6, ColKNC: 138e6},
+	"Advanced (interleaved RNG)":       {ColSNB: 110e6, ColKNC: 220e6},
+	"Advanced (cache-to-cache)":        {ColSNB: 135e6, ColKNC: 270e6},
+}
+
+var paperFig6Bounds = map[string]float64{ColSNB: 73.6e6, ColKNC: 145.3e6}
+
+// Table II — all values stated verbatim in the paper.
+var paperTab2 = map[string]map[string]float64{
+	"options/sec (stream RNG)":  {ColSNB: 29813, ColKNC: 92722},
+	"options/sec (comp. RNG)":   {ColSNB: 5556, ColKNC: 16366},
+	"normally-dist. DP RNG/sec": {ColSNB: 1.79e9, ColKNC: 5.21e9},
+	"uniform DP RNG/sec":        {ColSNB: 13.31e9, ColKNC: 25.134e9},
+}
+
+// Fig. 8 — Crank-Nicolson, options per second (256 prices x 1000 steps).
+//
+// "the performance improves to about 4.4K options/second for SNB-EP and
+// 7.3K options/second for KNC" [stated]; "performance increases to 6.4K
+// options/second on SNB-EP and 11.4K options/second on KNC" [stated];
+// "the gain due to SIMD ... is about 3.1X and 4.1X respectively" =>
+// reference = 6.4K/3.1 = 2.06K and 11.4K/4.1 = 2.78K ("KNC is only 1.3x
+// faster than SNB-EP" for the reference, consistent).
+var paperFig8 = map[string]map[string]float64{
+	"Basic (Reference)":                        {ColSNB: 2065, ColKNC: 2780},
+	"Advanced (Manual SIMD for implicit step)": {ColSNB: 4400, ColKNC: 7300},
+	"Advanced (Data structure transform)":      {ColSNB: 6400, ColKNC: 11400},
+}
+
+// Sec. V — Ninja gap summary: best/basic averaged across kernels, and the
+// optimized KNC/SNB-EP ratios by roofline class.
+const (
+	paperNinjaSNB         = 1.9
+	paperNinjaKNC         = 4.0
+	paperOptimizedRatioCB = 2.5 // compute-bound kernels
+	paperOptimizedRatioBB = 2.0 // bandwidth-bound kernels
+)

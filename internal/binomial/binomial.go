@@ -1,0 +1,527 @@
+// Package binomial implements the 1D binomial-tree option pricing kernel at
+// the paper's optimization levels (Sec. IV-B, Fig. 5):
+//
+//   - RefScalar: the reference per-option backward induction of Lis. 2.
+//   - Basic: inner-loop (j) vectorization of the reference code, with the
+//     unaligned Call[j+1] load and the SIMD-efficiency loss at row ends
+//     that the paper calls out.
+//   - Intermediate: SIMD across options — one option per lane over a
+//     lane-blocked layout, eliminating unaligned loads.
+//   - Advanced: the paper's novel register-tiling scheme (Lis. 3, Fig. 2b):
+//     TS time steps are fused so each Call value is loaded and stored once
+//     per TS steps, with the rest of the reduction kept in registers. The
+//     unrolled variant additionally eliminates the wavefront register move
+//     (a 1.4x effect on in-order KNC, none on out-of-order SNB-EP).
+//
+// All variants price European options under the Cox-Ross-Rubinstein
+// parameterization and compute identical arithmetic per tree node, so
+// results agree bitwise across variants (verified by tests). An American
+// put variant of the scalar reference exists for cross-validation against
+// Crank-Nicolson.
+package binomial
+
+import (
+	"sync"
+
+	"finbench/internal/layout"
+	"finbench/internal/mathx"
+	"finbench/internal/parallel"
+	"finbench/internal/perf"
+	"finbench/internal/vec"
+	"finbench/internal/workload"
+)
+
+// Params binds the tree discretization for one option.
+type Params struct {
+	// Steps is the tree depth N.
+	Steps int
+	// VDt is sigma*sqrt(dt).
+	VDt float64
+	// PuByDf and PdByDf are the discounted up/down probabilities.
+	PuByDf, PdByDf float64
+}
+
+// NewParams derives CRR tree parameters: u = e^{sigma sqrt(dt)}, d = 1/u,
+// pu = (e^{r dt} - d)/(u - d), discounted by e^{-r dt}.
+func NewParams(t float64, steps int, mkt workload.MarketParams) Params {
+	dt := t / float64(steps)
+	vDt := mkt.Sigma * mathx.Sqrt(dt)
+	u := mathx.Exp(vDt)
+	d := 1 / u
+	a := mathx.Exp(mkt.R * dt)
+	pu := (a - d) / (u - d)
+	df := 1 / a
+	return Params{Steps: steps, VDt: vDt, PuByDf: pu * df, PdByDf: (1 - pu) * df}
+}
+
+// leaf returns the European call payoff at leaf j: max(S e^{(2j-N) vDt}-X, 0).
+func leaf(s, x float64, p Params, j int) float64 {
+	v := s*mathx.Exp(p.VDt*float64(2*j-p.Steps)) - x
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// PriceScalar prices one European call via the reference backward
+// induction (Lis. 2).
+func PriceScalar(s, x, t float64, steps int, mkt workload.MarketParams) float64 {
+	p := NewParams(t, steps, mkt)
+	call := make([]float64, steps+1)
+	for j := 0; j <= steps; j++ {
+		call[j] = leaf(s, x, p, j)
+	}
+	reduceScalar(call, p)
+	return call[0]
+}
+
+// reduceScalar is the Lis. 2 kernel: the in-place ascending-j update.
+func reduceScalar(call []float64, p Params) {
+	n := len(call) - 1
+	for i := n; i > 0; i-- {
+		for j := 0; j <= i-1; j++ {
+			call[j] = p.PuByDf*call[j+1] + p.PdByDf*call[j]
+		}
+	}
+}
+
+// PriceAmericanPutScalar prices one American put on the same tree,
+// applying the early-exercise maximum at every node (Sec. II-B). It is the
+// cross-validation oracle for the Crank-Nicolson kernel.
+func PriceAmericanPutScalar(s, x, t float64, steps int, mkt workload.MarketParams) float64 {
+	p := NewParams(t, steps, mkt)
+	val := make([]float64, steps+1)
+	for j := 0; j <= steps; j++ {
+		v := x - s*mathx.Exp(p.VDt*float64(2*j-steps))
+		if v < 0 {
+			v = 0
+		}
+		val[j] = v
+	}
+	for i := steps; i > 0; i-- {
+		for j := 0; j <= i-1; j++ {
+			cont := p.PuByDf*val[j+1] + p.PdByDf*val[j]
+			// Early exercise: spot at node (i-1, j) is S e^{(2j-(i-1)) vDt}.
+			ex := x - s*mathx.Exp(p.VDt*float64(2*j-(i-1)))
+			if ex > cont {
+				val[j] = ex
+			} else {
+				val[j] = cont
+			}
+		}
+	}
+	return val[0]
+}
+
+// RefScalar prices the batch with the scalar reference, recording the
+// scalar op mix: 3 flops per inner iteration, ~3N(N+1)/2 flops per option
+// (the paper's compute bound).
+func RefScalar(a layout.AOS, steps int, mkt workload.MarketParams, c *perf.Counts) {
+	n := a.Len()
+	runParallel(n, c, func(lo, hi int, c *perf.Counts) {
+		for i := lo; i < hi; i++ {
+			price := PriceScalar(a.S(i), a.X(i), a.T(i), steps, mkt)
+			a.SetResult(i, price, 0)
+		}
+		if c != nil {
+			un := uint64(hi - lo)
+			iters := uint64(steps) * uint64(steps+1) / 2
+			c.Add(perf.OpScalar, un*iters*3)
+			c.Add(perf.OpScalarLoad, un*iters*2)
+			c.Add(perf.OpScalarStore, un*iters)
+			c.Add(perf.OpExp, un*uint64(steps+1)) // leaf initialization
+			c.Add(perf.OpScalar, un*uint64(steps+1)*3)
+		}
+	})
+	finish(c, n)
+}
+
+// Basic prices the batch with the compiler-level optimization: the j loop
+// of the reference code autovectorized. Call[j+1] becomes an unaligned
+// vector load and each row end leaves a scalar remainder (Sec. IV-B1).
+func Basic(a layout.AOS, steps int, mkt workload.MarketParams, width int, c *perf.Counts) {
+	n := a.Len()
+	runParallel(n, c, func(lo, hi int, c *perf.Counts) {
+		ctx := vec.New(width, c)
+		call := make([]float64, steps+1+vec.MaxWidth)
+		for o := lo; o < hi; o++ {
+			p := NewParams(a.T(o), steps, mkt)
+			for j := 0; j <= steps; j++ {
+				call[j] = leaf(a.S(o), a.X(o), p, j)
+			}
+			if c != nil {
+				c.Add(perf.OpExp, uint64(steps+1))
+				c.Add(perf.OpScalar, uint64(steps+1)*3)
+			}
+			pu := ctx.Broadcast(p.PuByDf)
+			pd := ctx.Broadcast(p.PdByDf)
+			for i := steps; i > 0; i-- {
+				j := 0
+				for ; j+width <= i; j += width {
+					lo1 := ctx.Load(call, j)    // aligned Call[j]
+					hi1 := ctx.LoadU(call, j+1) // unaligned Call[j+1]
+					res := ctx.FMA(pu, hi1, vecMulLocal(ctx, pd, lo1))
+					ctx.Store(call, j, res)
+				}
+				// Scalar remainder: SIMD-efficiency loss at row end.
+				for ; j <= i-1; j++ {
+					call[j] = p.PuByDf*call[j+1] + p.PdByDf*call[j]
+					if c != nil {
+						c.Add(perf.OpScalar, 3)
+						c.Add(perf.OpScalarLoad, 2)
+						c.Add(perf.OpScalarStore, 1)
+					}
+				}
+			}
+			a.SetResult(o, call[0], 0)
+		}
+	})
+	finish(c, n)
+}
+
+func vecMulLocal(ctx vec.Ctx, a, b vec.Vec) vec.Vec { return ctx.Mul(a, b) }
+
+// Batch is the lane-blocked state for the SIMD-across-options variants:
+// Call[j] holds the value at tree level j for `width` options at once.
+type Batch struct {
+	width  int
+	params []Params  // per lane
+	call   []vec.Vec // tree levels, one vector per level
+	pu, pd vec.Vec
+}
+
+// newBatch builds the blocked state for options [base, base+width) of a.
+func newBatch(ctx vec.Ctx, a layout.AOS, base, steps int, mkt workload.MarketParams, c *perf.Counts) *Batch {
+	w := ctx.W
+	b := &Batch{width: w, params: make([]Params, w), call: make([]vec.Vec, steps+1)}
+	n := a.Len()
+	for l := 0; l < w; l++ {
+		idx := base + l
+		if idx >= n {
+			idx = n - 1 // pad with the last option
+		}
+		b.params[l] = NewParams(a.T(idx), steps, mkt)
+		b.pu.X[l] = b.params[l].PuByDf
+		b.pd.X[l] = b.params[l].PdByDf
+	}
+	for j := 0; j <= steps; j++ {
+		var v vec.Vec
+		for l := 0; l < w; l++ {
+			idx := base + l
+			if idx >= n {
+				idx = n - 1
+			}
+			v.X[l] = leaf(a.S(idx), a.X(idx), b.params[l], j)
+		}
+		b.call[j] = v
+	}
+	if c != nil {
+		c.Add(perf.OpExp, uint64(steps+1)*uint64(w))
+		c.Add(perf.OpVecMul, uint64(steps+1))
+		c.Add(perf.OpVecAdd, uint64(steps+1))
+		c.Add(perf.OpVecMax, uint64(steps+1))
+	}
+	return b
+}
+
+// Intermediate prices the batch with SIMD across options (one option per
+// lane, F64vec8-style outer-loop vectorization). Loads are aligned; the
+// per-group working set grows by the vector width (Sec. III-B).
+func Intermediate(a layout.AOS, steps int, mkt workload.MarketParams, width int, c *perf.Counts) {
+	groups := (a.Len() + width - 1) / width
+	runParallel(groups, c, func(glo, ghi int, c *perf.Counts) {
+		ctx := vec.New(width, c)
+		for g := glo; g < ghi; g++ {
+			b := newBatch(ctx, a, g*width, steps, mkt, c)
+			for i := steps; i > 0; i-- {
+				for j := 0; j <= i-1; j++ {
+					// One vector load of Call[j+1], one of Call[j] — the
+					// counting context charges them via explicit ops.
+					hi1 := loadVec(ctx, b.call, j+1)
+					lo1 := loadVec(ctx, b.call, j)
+					res := ctx.FMA(b.pu, hi1, ctx.Mul(b.pd, lo1))
+					storeVec(ctx, b.call, j, res)
+				}
+			}
+			writeResults(a, g*width, b.call[0])
+		}
+	})
+	finish(c, a.Len())
+}
+
+// loadVec/storeVec model the Call-array traffic of the blocked layout: in
+// real code these are aligned vector loads/stores of one cache line.
+func loadVec(ctx vec.Ctx, arr []vec.Vec, j int) vec.Vec {
+	if ctx.C != nil {
+		ctx.C.Add(perf.OpVecLoad, 1)
+	}
+	return arr[j]
+}
+
+func storeVec(ctx vec.Ctx, arr []vec.Vec, j int, v vec.Vec) {
+	if ctx.C != nil {
+		ctx.C.Add(perf.OpVecStore, 1)
+	}
+	arr[j] = v
+}
+
+func writeResults(a layout.AOS, base int, v vec.Vec) {
+	n := a.Len()
+	for l := 0; l < vec.MaxWidth; l++ {
+		if base+l >= n {
+			break
+		}
+		a.SetResult(base+l, v.X[l], 0)
+	}
+}
+
+// DefaultTile is the register-tile depth TS of the advanced variant: TS+2
+// live vector registers must fit in the architectural register file (16
+// F64vec4 on SNB-EP, 32 F64vec8 on KNC), so 8 fits both with room for the
+// probability registers.
+const DefaultTile = 8
+
+// Advanced prices the batch with the register-tiled reduction of Lis. 3.
+// For TS time steps each Call value is read once and written once; the
+// rest of the work happens in registers, raising arithmetic intensity
+// (Sec. IV-B2). unrolled selects the variant with the wavefront register
+// move eliminated (the paper's final optimization; 1.4x on KNC only).
+// steps%tile must be 0 (the harness uses 1024/2048 with tile 8).
+func Advanced(a layout.AOS, steps int, mkt workload.MarketParams, width, tile int, unrolled bool, c *perf.Counts) {
+	if steps%tile != 0 {
+		panic("binomial: steps must be a multiple of the tile size")
+	}
+	groups := (a.Len() + width - 1) / width
+	runParallel(groups, c, func(glo, ghi int, c *perf.Counts) {
+		ctx := vec.New(width, c)
+		tileBuf := make([]vec.Vec, tile)
+		for g := glo; g < ghi; g++ {
+			b := newBatch(ctx, a, g*width, steps, mkt, c)
+			for m := steps; m >= tile; m -= tile {
+				// Triangle: initialize the wavefront from Call[0..TS-1]
+				// entirely in registers (lower-triangular part, Fig. 2b).
+				for j := 0; j < tile; j++ {
+					tileBuf[j] = loadVec(ctx, b.call, j)
+				}
+				for s := 1; s <= tile-1; s++ {
+					for j := 0; j <= tile-1-s; j++ {
+						tileBuf[j] = ctx.FMA(b.pu, tileBuf[j+1], ctx.Mul(b.pd, tileBuf[j]))
+					}
+				}
+				// Steady state: the shaded trapezoid of Fig. 2b. Each i
+				// reads Call[i] once, advances the wavefront TS steps, and
+				// writes Call[i-TS] once.
+				for i := tile; i <= m; i++ {
+					m1 := loadVec(ctx, b.call, i)
+					for j := tile - 1; j >= 0; j-- {
+						m2 := ctx.FMA(b.pu, m1, ctx.Mul(b.pd, tileBuf[j]))
+						if unrolled {
+							// Unrolled code renames registers statically;
+							// no move instruction is issued.
+							tileBuf[j] = m1
+						} else {
+							tileBuf[j] = ctx.Move(m1)
+						}
+						m1 = m2
+					}
+					storeVec(ctx, b.call, i-tile, m1)
+				}
+			}
+			writeResults(a, g*width, b.call[0])
+		}
+	})
+	finish(c, a.Len())
+}
+
+// finish adds the per-option input/output DRAM traffic (the tree itself is
+// cache-resident) and the item count.
+func finish(c *perf.Counts, n int) {
+	if c != nil {
+		c.AddBytes(uint64(24*n), uint64(8*n))
+		c.Items += uint64(n)
+	}
+}
+
+// runParallel mirrors the pattern used by every kernel package: static
+// parallel split with per-worker counters merged under a lock.
+func runParallel(n int, c *perf.Counts, run func(lo, hi int, c *perf.Counts)) {
+	if c == nil {
+		parallel.For(n, func(lo, hi int) { run(lo, hi, nil) })
+		return
+	}
+	var mu sync.Mutex
+	parallel.ForIndexed(n, func(_, lo, hi int) {
+		var local perf.Counts
+		run(lo, hi, &local)
+		mu.Lock()
+		c.Merge(local)
+		mu.Unlock()
+	})
+}
+
+// TreeGreeks holds price and sensitivities extracted from a single tree
+// evaluation: the nodes one and two steps into the tree form finite
+// differences in the underlying at no extra cost, avoiding the three
+// lattice evaluations that spot bumping needs.
+type TreeGreeks struct {
+	Price, Delta, Gamma float64
+}
+
+// GreeksScalar prices a European call and extracts delta and gamma from
+// the depth-1 and depth-2 tree levels.
+func GreeksScalar(s, x, t float64, steps int, mkt workload.MarketParams) TreeGreeks {
+	p := NewParams(t, steps, mkt)
+	call := make([]float64, steps+1)
+	for j := 0; j <= steps; j++ {
+		call[j] = leaf(s, x, p, j)
+	}
+	return reduceWithGreeks(call, s, p)
+}
+
+// GreeksAmericanPut is GreeksScalar for the American put.
+func GreeksAmericanPut(s, x, t float64, steps int, mkt workload.MarketParams) TreeGreeks {
+	p := NewParams(t, steps, mkt)
+	val := make([]float64, steps+1)
+	for j := 0; j <= steps; j++ {
+		v := x - s*mathx.Exp(p.VDt*float64(2*j-steps))
+		if v < 0 {
+			v = 0
+		}
+		val[j] = v
+	}
+	n := steps
+	var lvl2, lvl1 [3]float64
+	for i := n; i > 0; i-- {
+		for j := 0; j <= i-1; j++ {
+			cont := p.PuByDf*val[j+1] + p.PdByDf*val[j]
+			ex := x - s*mathx.Exp(p.VDt*float64(2*j-(i-1)))
+			if ex > cont {
+				val[j] = ex
+			} else {
+				val[j] = cont
+			}
+		}
+		if i-1 == 2 {
+			copy(lvl2[:], val[:3])
+		}
+		if i-1 == 1 {
+			copy(lvl1[:2], val[:2])
+		}
+	}
+	return assembleGreeks(val[0], lvl1, lvl2, s, p)
+}
+
+// reduceWithGreeks runs the Lis. 2 reduction, capturing levels 2 and 1.
+func reduceWithGreeks(call []float64, s float64, p Params) TreeGreeks {
+	n := len(call) - 1
+	var lvl2, lvl1 [3]float64
+	for i := n; i > 0; i-- {
+		for j := 0; j <= i-1; j++ {
+			call[j] = p.PuByDf*call[j+1] + p.PdByDf*call[j]
+		}
+		if i-1 == 2 {
+			copy(lvl2[:], call[:3])
+		}
+		if i-1 == 1 {
+			copy(lvl1[:2], call[:2])
+		}
+	}
+	return assembleGreeks(call[0], lvl1, lvl2, s, p)
+}
+
+// assembleGreeks converts the captured levels into delta and gamma.
+// At depth k, node j sits at underlying S e^{(2j-k) vDt}.
+func assembleGreeks(price float64, lvl1, lvl2 [3]float64, s float64, p Params) TreeGreeks {
+	u := mathx.Exp(p.VDt)
+	d := 1 / u
+	s1u, s1d := s*u, s*d
+	delta := (lvl1[1] - lvl1[0]) / (s1u - s1d)
+	s2u, s2m, s2d := s*u*u, s, s*d*d
+	dUp := (lvl2[2] - lvl2[1]) / (s2u - s2m)
+	dDn := (lvl2[1] - lvl2[0]) / (s2m - s2d)
+	gamma := (dUp - dDn) / ((s2u - s2d) / 2)
+	return TreeGreeks{Price: price, Delta: delta, Gamma: gamma}
+}
+
+// AdvancedTwoLevel applies the paper's second tiling level (Sec. IV-B2:
+// "A second-level of tiling can be done similarly, save that Tile is now
+// chosen to reside in cache rather in the register file"): the reduction
+// advances cacheTile steps at a time through a cache-resident wavefront
+// buffer, and each cache-tile pass is itself processed with regTile-deep
+// register tiling. For trees too large for the L2 (N in the tens of
+// thousands), the Call array crosses DRAM once per cacheTile steps instead
+// of once per regTile. Arithmetic is identical to Advanced (bitwise).
+// steps%cacheTile and cacheTile%regTile must be 0.
+func AdvancedTwoLevel(a layout.AOS, steps int, mkt workload.MarketParams, width, cacheTile, regTile int, unrolled bool, c *perf.Counts) {
+	if steps%cacheTile != 0 || cacheTile%regTile != 0 {
+		panic("binomial: steps%cacheTile and cacheTile%regTile must be 0")
+	}
+	groups := (a.Len() + width - 1) / width
+	runParallel(groups, c, func(glo, ghi int, c *perf.Counts) {
+		ctx := vec.New(width, c)
+		cbuf := make([]vec.Vec, cacheTile) // cache-resident wavefront
+		tileBuf := make([]vec.Vec, regTile)
+		for g := glo; g < ghi; g++ {
+			b := newBatch(ctx, a, g*width, steps, mkt, c)
+			for m := steps; m >= cacheTile; m -= cacheTile {
+				// Cache-level triangle: reduce Call[0..CT-1] into the
+				// wavefront buffer using register tiles.
+				for j := 0; j < cacheTile; j++ {
+					cbuf[j] = loadVec(ctx, b.call, j)
+				}
+				triangleReduce(ctx, cbuf, b.pu, b.pd, tileBuf, unrolled, c)
+				// Steady state: each Call[i] makes one pass through the
+				// cache tile (itself register-tiled).
+				for i := cacheTile; i <= m; i++ {
+					m1 := loadVec(ctx, b.call, i)
+					m1 = tilePass(ctx, cbuf, m1, b.pu, b.pd, tileBuf, regTile, unrolled, c)
+					storeVec(ctx, b.call, i-cacheTile, m1)
+				}
+			}
+			writeResults(a, g*width, b.call[0])
+		}
+	})
+	finish(c, a.Len())
+}
+
+// triangleReduce performs the lower-triangular wavefront initialization of
+// the cache buffer: after it, cbuf[j] = V_{CT-1-j}[j], matching the
+// single-level triangle but staged through register tiles.
+func triangleReduce(ctx vec.Ctx, cbuf []vec.Vec, pu, pd vec.Vec, tileBuf []vec.Vec, unrolled bool, c *perf.Counts) {
+	ct := len(cbuf)
+	for s := 1; s <= ct-1; s++ {
+		for j := 0; j <= ct-1-s; j++ {
+			cbuf[j] = ctx.FMA(pu, cbuf[j+1], ctx.Mul(pd, cbuf[j]))
+		}
+	}
+	_ = tileBuf
+	_ = unrolled
+	_ = c
+}
+
+// tilePass advances the value m1 through the whole cache-tile wavefront,
+// regTile steps at a time in registers: the register tile holds the
+// wavefront slice being updated, so cbuf is read and written once per
+// regTile steps rather than every step.
+func tilePass(ctx vec.Ctx, cbuf []vec.Vec, m1 vec.Vec, pu, pd vec.Vec, tileBuf []vec.Vec, regTile int, unrolled bool, c *perf.Counts) vec.Vec {
+	ct := len(cbuf)
+	for base := ct; base > 0; base -= regTile {
+		// Load the register tile from the cache buffer.
+		for k := 0; k < regTile; k++ {
+			tileBuf[k] = loadVec(ctx, cbuf, base-regTile+k)
+		}
+		for j := regTile - 1; j >= 0; j-- {
+			m2 := ctx.FMA(pu, m1, ctx.Mul(pd, tileBuf[j]))
+			if unrolled {
+				tileBuf[j] = m1
+			} else {
+				tileBuf[j] = ctx.Move(m1)
+			}
+			m1 = m2
+		}
+		for k := 0; k < regTile; k++ {
+			storeVec(ctx, cbuf, base-regTile+k, tileBuf[k])
+		}
+	}
+	return m1
+}

@@ -1,0 +1,93 @@
+package binomial
+
+import (
+	"finbench/internal/mathx"
+	"finbench/internal/workload"
+)
+
+// Trinomial lattice (Boyle): the other lattice method of the paper's
+// taxonomy (Fig. 1, "lattice methods (binomial/trinomial trees)"). Each
+// node branches up/middle/down with u = e^{sigma sqrt(2 dt)}, d = 1/u,
+// m = 1; the extra degree of freedom gives smoother convergence than the
+// binomial tree at equal step counts, which the tests verify.
+
+// TriParams holds the discretized trinomial dynamics.
+type TriParams struct {
+	Steps      int
+	U          float64 // up factor per step
+	Pu, Pm, Pd float64 // branch probabilities
+	Df         float64 // per-step discount
+	logU       float64
+}
+
+// NewTriParams derives the Boyle trinomial parameters.
+func NewTriParams(t float64, steps int, mkt workload.MarketParams) TriParams {
+	dt := t / float64(steps)
+	su := mathx.Exp(mkt.Sigma * mathx.Sqrt(dt/2))
+	sd := 1 / su
+	er := mathx.Exp(mkt.R * dt / 2)
+	pu := (er - sd) / (su - sd)
+	pu *= pu
+	pd := (su - er) / (su - sd)
+	pd *= pd
+	logU := mkt.Sigma * mathx.Sqrt(2*dt)
+	return TriParams{
+		Steps: steps,
+		U:     mathx.Exp(logU),
+		Pu:    pu,
+		Pm:    1 - pu - pd,
+		Pd:    pd,
+		Df:    mathx.Exp(-mkt.R * dt),
+		logU:  logU,
+	}
+}
+
+// PriceTrinomial prices a European call on the trinomial lattice.
+func PriceTrinomial(s, x, t float64, steps int, mkt workload.MarketParams) float64 {
+	p := NewTriParams(t, steps, mkt)
+	// 2*steps+1 terminal nodes; node j has price S e^{(j-steps) logU}.
+	n := 2*steps + 1
+	val := make([]float64, n)
+	for j := 0; j < n; j++ {
+		v := s*mathx.Exp(float64(j-steps)*p.logU) - x
+		if v < 0 {
+			v = 0
+		}
+		val[j] = v
+	}
+	for level := steps - 1; level >= 0; level-- {
+		m := 2*level + 1
+		for j := 0; j < m; j++ {
+			val[j] = p.Df * (p.Pd*val[j] + p.Pm*val[j+1] + p.Pu*val[j+2])
+		}
+	}
+	return val[0]
+}
+
+// PriceAmericanPutTrinomial prices an American put on the same lattice
+// with the early-exercise maximum at every node.
+func PriceAmericanPutTrinomial(s, x, t float64, steps int, mkt workload.MarketParams) float64 {
+	p := NewTriParams(t, steps, mkt)
+	n := 2*steps + 1
+	val := make([]float64, n)
+	for j := 0; j < n; j++ {
+		v := x - s*mathx.Exp(float64(j-steps)*p.logU)
+		if v < 0 {
+			v = 0
+		}
+		val[j] = v
+	}
+	for level := steps - 1; level >= 0; level-- {
+		m := 2*level + 1
+		for j := 0; j < m; j++ {
+			cont := p.Df * (p.Pd*val[j] + p.Pm*val[j+1] + p.Pu*val[j+2])
+			ex := x - s*mathx.Exp(float64(j-level)*p.logU)
+			if ex > cont {
+				val[j] = ex
+			} else {
+				val[j] = cont
+			}
+		}
+	}
+	return val[0]
+}

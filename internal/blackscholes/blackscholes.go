@@ -1,0 +1,263 @@
+// Package blackscholes implements the closed-form Black-Scholes European
+// option pricing kernel at the paper's three optimization levels
+// (Sec. IV-A, Fig. 4):
+//
+//   - Basic: the reference loop of Lis. 1, autovectorized over AOS data.
+//     Each input field becomes a strided gather and each output a scatter,
+//     which is what makes the reference version 3x slower on KNC than on
+//     SNB-EP.
+//   - Intermediate: the AOS-to-SOA data transposition, turning every
+//     gather into an aligned vector load. This is the paper's key
+//     Black-Scholes optimization (10x on KNC).
+//   - Advanced: VML-style batch evaluation over cache-blocked SOA chunks,
+//     with the call/put parity and cnd->erf substitutions of Sec. IV-A2.
+//
+// A pure-scalar reference (RefScalar) provides the correctness baseline
+// every optimized variant is tested against.
+package blackscholes
+
+import (
+	"sync"
+
+	"finbench/internal/layout"
+	"finbench/internal/mathx"
+	"finbench/internal/parallel"
+	"finbench/internal/perf"
+	"finbench/internal/vec"
+	"finbench/internal/workload"
+)
+
+// PriceScalar prices a single European call and put.
+// d1 = (ln(S/X) + (r + sig^2/2) T) / (sig sqrt(T)), d2 = d1 - sig sqrt(T);
+// call = S Phi(d1) - X e^{-rT} Phi(d2), put by symmetry.
+func PriceScalar(s, x, t float64, mkt workload.MarketParams) (call, put float64) {
+	r, sig := mkt.R, mkt.Sigma
+	sig22 := sig * sig / 2
+	qlog := mathx.Log(s / x)
+	denom := 1 / (sig * mathx.Sqrt(t))
+	d1 := (qlog + (r+sig22)*t) * denom
+	d2 := (qlog + (r-sig22)*t) * denom
+	xexp := x * mathx.Exp(-r*t)
+	call = s*mathx.CND(d1) - xexp*mathx.CND(d2)
+	put = xexp*mathx.CND(-d2) - s*mathx.CND(-d1)
+	return call, put
+}
+
+// RefScalar prices the batch with the reference scalar loop (Lis. 1),
+// recording the scalar operation mix. It is the "naively-written C/C++
+// code" side of the Ninja gap.
+func RefScalar(a layout.AOS, mkt workload.MarketParams, c *perf.Counts) {
+	n := a.Len()
+	for i := 0; i < n; i++ {
+		call, put := PriceScalar(a.S(i), a.X(i), a.T(i), mkt)
+		a.SetResult(i, call, put)
+	}
+	if c != nil {
+		// Per option: 1 log, 1 sqrt, 1 exp, 1 divide, 4 cnd, ~12 flops,
+		// 3 scalar loads, 2 scalar stores.
+		un := uint64(n)
+		c.Add(perf.OpLog, un)
+		c.Add(perf.OpSqrt, un)
+		c.Add(perf.OpExp, un)
+		c.Add(perf.OpCND, 4*un)
+		c.Add(perf.OpScalar, 14*un) // flops incl. the two divides
+		c.Add(perf.OpScalarLoad, 3*un)
+		c.Add(perf.OpScalarStore, 2*un)
+		c.AddBytes(uint64(40*n), uint64(16*n))
+		c.Items += un
+	}
+}
+
+// priceVec prices one vector of options given input registers, using the
+// reference formula (cnd four times, no parity), as the autovectorizer
+// emits for Lis. 1.
+func priceVec(ctx vec.Ctx, s, x, t vec.Vec, mkt workload.MarketParams) (call, put vec.Vec) {
+	r, sig := mkt.R, mkt.Sigma
+	sig22 := sig * sig / 2
+	qlog := ctx.Log(ctx.Div(s, x))
+	denom := ctx.Div(ctx.Broadcast(1), ctx.Mul(ctx.Broadcast(sig), ctx.Sqrt(t)))
+	d1 := ctx.Mul(ctx.FMA(ctx.Broadcast(r+sig22), t, qlog), denom)
+	d2 := ctx.Mul(ctx.FMA(ctx.Broadcast(r-sig22), t, qlog), denom)
+	xexp := ctx.Mul(x, ctx.Exp(ctx.Mul(ctx.Broadcast(-r), t)))
+	call = ctx.Sub(ctx.Mul(s, ctx.CND(d1)), ctx.Mul(xexp, ctx.CND(d2)))
+	put = ctx.Sub(ctx.Mul(xexp, ctx.CND(ctx.Neg(d2))), ctx.Mul(s, ctx.CND(ctx.Neg(d1))))
+	return call, put
+}
+
+// Basic prices the AOS batch with inner-loop vectorization over the AOS
+// layout: the compiler-only optimization level. Inputs are gathered from
+// (and outputs scattered to) records spread across `width` cache lines.
+// The batch length must be a multiple of the vector width (callers pad
+// with layout.PadTo).
+func Basic(a layout.AOS, mkt workload.MarketParams, width int, c *perf.Counts) {
+	n := a.Len()
+	run := func(lo, hi int, c *perf.Counts) {
+		ctx := vec.New(width, c)
+		i := lo
+		for ; i+width <= hi; i += width {
+			base := i * layout.Stride
+			s := ctx.GatherStride(a.Data, base+layout.FieldS, layout.Stride)
+			x := ctx.GatherStride(a.Data, base+layout.FieldX, layout.Stride)
+			t := ctx.GatherStride(a.Data, base+layout.FieldT, layout.Stride)
+			call, put := priceVec(ctx, s, x, t, mkt)
+			ctx.ScatterStride(a.Data, base+layout.FieldCall, layout.Stride, call)
+			ctx.ScatterStride(a.Data, base+layout.FieldPut, layout.Stride, put)
+		}
+		// Scalar remainder (SIMD-efficiency loss at loop end, Sec. IV-B1).
+		for ; i < hi; i++ {
+			call, put := PriceScalar(a.S(i), a.X(i), a.T(i), mkt)
+			a.SetResult(i, call, put)
+		}
+	}
+	runParallel(n, c, run)
+	if c != nil {
+		c.AddBytes(uint64(40*n), uint64(16*n))
+		c.Items += uint64(n)
+	}
+}
+
+// Intermediate prices the SOA batch with SIMD across options: aligned
+// loads, call/put parity and the cnd->erf substitution (Sec. IV-A2).
+func Intermediate(s *layout.SOA, mkt workload.MarketParams, width int, c *perf.Counts) {
+	n := s.Len()
+	r, sig := mkt.R, mkt.Sigma
+	sig22 := sig * sig / 2
+	run := func(lo, hi int, c *perf.Counts) {
+		ctx := vec.New(width, c)
+		half := ctx.Broadcast(0.5)
+		one := ctx.Broadcast(1)
+		invSqrt2 := ctx.Broadcast(mathx.InvSqrt2)
+		i := lo
+		for ; i+width <= hi; i += width {
+			sp := ctx.Load(s.S, i)
+			x := ctx.Load(s.X, i)
+			t := ctx.Load(s.T, i)
+			qlog := ctx.Log(ctx.Div(sp, x))
+			denom := ctx.Div(one, ctx.Mul(ctx.Broadcast(sig), ctx.Sqrt(t)))
+			d1 := ctx.Mul(ctx.FMA(ctx.Broadcast(r+sig22), t, qlog), denom)
+			d2 := ctx.Mul(ctx.FMA(ctx.Broadcast(r-sig22), t, qlog), denom)
+			xexp := ctx.Mul(x, ctx.Exp(ctx.Mul(ctx.Broadcast(-r), t)))
+			// cnd(d) = (1 + erf(d/sqrt2))/2; two erf calls replace four cnd.
+			nd1 := ctx.Mul(ctx.Add(one, ctx.Erf(ctx.Mul(d1, invSqrt2))), half)
+			nd2 := ctx.Mul(ctx.Add(one, ctx.Erf(ctx.Mul(d2, invSqrt2))), half)
+			call := ctx.Sub(ctx.Mul(sp, nd1), ctx.Mul(xexp, nd2))
+			// Put-call parity: put = call - S + X e^{-rT}.
+			put := ctx.Add(ctx.Sub(call, sp), xexp)
+			ctx.Store(s.Call, i, call)
+			ctx.Store(s.Put, i, put)
+		}
+		for ; i < hi; i++ {
+			call, put := PriceScalar(s.S[i], s.X[i], s.T[i], mkt)
+			s.Call[i] = call
+			s.Put[i] = put
+		}
+	}
+	runParallel(n, c, run)
+	if c != nil {
+		c.AddBytes(uint64(24*n), uint64(16*n))
+		c.Items += uint64(n)
+	}
+}
+
+// VMLChunk is the cache-resident batch size of the Advanced variant: the
+// intermediate arrays of a chunk must fit in L2 (paper Sec. IV-A3 notes
+// VML's "larger cache footprint").
+const VMLChunk = 2048
+
+// Advanced prices the SOA batch VML-style: whole-array transcendental
+// calls over cache-blocked chunks, with parity and erf substitution.
+func Advanced(s *layout.SOA, mkt workload.MarketParams, width int, c *perf.Counts) {
+	n := s.Len()
+	r, sig := mkt.R, mkt.Sigma
+	sig22 := sig * sig / 2
+	run := func(lo, hi int, c *perf.Counts) {
+		// Per-worker scratch (cache-resident intermediates).
+		qlog := make([]float64, VMLChunk)
+		denom := make([]float64, VMLChunk)
+		xexp := make([]float64, VMLChunk)
+		d1 := make([]float64, VMLChunk)
+		d2 := make([]float64, VMLChunk)
+		for base := lo; base < hi; base += VMLChunk {
+			m := hi - base
+			if m > VMLChunk {
+				m = VMLChunk
+			}
+			for i := 0; i < m; i++ {
+				qlog[i] = s.S[base+i] / s.X[base+i]
+			}
+			mathx.LogArray(qlog[:m], qlog[:m])
+			for i := 0; i < m; i++ {
+				denom[i] = sig * sig * s.T[base+i]
+			}
+			mathx.SqrtArray(denom[:m], denom[:m])
+			mathx.InvArray(denom[:m], denom[:m])
+			for i := 0; i < m; i++ {
+				t := s.T[base+i]
+				d1[i] = (qlog[i] + (r+sig22)*t) * denom[i] * mathx.InvSqrt2
+				d2[i] = (qlog[i] + (r-sig22)*t) * denom[i] * mathx.InvSqrt2
+				xexp[i] = -r * t
+			}
+			mathx.ExpArray(xexp[:m], xexp[:m])
+			mathx.ErfArray(d1[:m], d1[:m])
+			mathx.ErfArray(d2[:m], d2[:m])
+			for i := 0; i < m; i++ {
+				x := s.X[base+i] * xexp[i]
+				sp := s.S[base+i]
+				call := sp*0.5*(1+d1[i]) - x*0.5*(1+d2[i])
+				s.Call[base+i] = call
+				s.Put[base+i] = call - sp + x
+			}
+		}
+		if c != nil {
+			// VML mix per option (vector-instruction counts per `width`
+			// options): the transcendentals, one divide, and the extra
+			// loads/stores of streaming intermediates through cache.
+			un := uint64(hi - lo)
+			uw := uint64(width)
+			// VML's long-array transcendentals amortize the per-call setup
+			// of the SVML kernels (~15%), the reason "using the Intel VML
+			// is more efficient on SNB-EP" (Sec. IV-A3); the extra
+			// intermediate-array traffic below is what cancels the benefit
+			// on KNC.
+			disc := func(n uint64) uint64 { return n * 17 / 20 }
+			c.Add(perf.OpLog, disc(un))
+			c.Add(perf.OpSqrt, disc(un))
+			c.Add(perf.OpExp, disc(un))
+			c.Add(perf.OpErf, disc(2*un))
+			vecIters := un / uw
+			c.Add(perf.OpVecDiv, 2*vecIters)
+			c.Add(perf.OpVecMul, 10*vecIters)
+			c.Add(perf.OpVecAdd, 7*vecIters)
+			c.Add(perf.OpVecFMA, 2*vecIters)
+			// Intermediate arrays are re-loaded/stored by each VML pass:
+			// ~12 extra vector loads and ~8 stores per vector of options.
+			c.Add(perf.OpVecLoad, 12*vecIters)
+			c.Add(perf.OpVecStore, 8*vecIters)
+			if c.Width == 0 {
+				c.Width = width
+			}
+		}
+	}
+	runParallel(n, c, run)
+	if c != nil {
+		c.AddBytes(uint64(24*n), uint64(16*n))
+		c.Items += uint64(n)
+	}
+}
+
+// runParallel splits [0,n) across workers, giving each a private counter
+// merged at the end (counter-free runs go straight through).
+func runParallel(n int, c *perf.Counts, run func(lo, hi int, c *perf.Counts)) {
+	if c == nil {
+		parallel.For(n, func(lo, hi int) { run(lo, hi, nil) })
+		return
+	}
+	var mu sync.Mutex
+	parallel.ForIndexed(n, func(_, lo, hi int) {
+		var local perf.Counts
+		run(lo, hi, &local)
+		mu.Lock()
+		c.Merge(local)
+		mu.Unlock()
+	})
+}

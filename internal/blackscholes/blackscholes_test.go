@@ -1,0 +1,402 @@
+package blackscholes
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"finbench/internal/layout"
+	"finbench/internal/mathx"
+	"finbench/internal/perf"
+	"finbench/internal/workload"
+)
+
+var mkt = workload.MarketParams{R: 0.05, Sigma: 0.2}
+
+// Classic textbook value: S=100, K=100, T=1, r=5%, sigma=20%.
+func TestPriceScalarKnownValue(t *testing.T) {
+	call, put := PriceScalar(100, 100, 1, mkt)
+	if math.Abs(call-10.450583572185565) > 1e-12 {
+		t.Fatalf("call = %.15f", call)
+	}
+	if math.Abs(put-5.573526022256971) > 1e-12 {
+		t.Fatalf("put = %.15f", put)
+	}
+}
+
+func TestPriceScalarDeepITMOTM(t *testing.T) {
+	// Deep in-the-money call approaches S - K e^{-rT}.
+	call, _ := PriceScalar(200, 10, 1, mkt)
+	want := 200 - 10*mathx.Exp(-0.05)
+	if math.Abs(call-want) > 1e-9 {
+		t.Fatalf("deep ITM call = %g, want %g", call, want)
+	}
+	// Deep out-of-the-money call is nearly worthless.
+	call, _ = PriceScalar(10, 200, 0.25, mkt)
+	if call > 1e-12 {
+		t.Fatalf("deep OTM call = %g", call)
+	}
+}
+
+// Property: put-call parity C - P = S - K e^{-rT} for all valid inputs.
+func TestPutCallParityQuick(t *testing.T) {
+	f := func(su, xu, tu uint16) bool {
+		s := 10 + float64(su%190)
+		x := 10 + float64(xu%190)
+		tt := 0.1 + float64(tu%1000)/100
+		call, put := PriceScalar(s, x, tt, mkt)
+		want := s - x*mathx.Exp(-mkt.R*tt)
+		return math.Abs((call-put)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: call price is monotone decreasing in strike and increasing in
+// volatility.
+func TestMonotonicityQuick(t *testing.T) {
+	f := func(xu uint16) bool {
+		x := 50 + float64(xu%100)
+		c1, _ := PriceScalar(100, x, 1, mkt)
+		c2, _ := PriceScalar(100, x+1, 1, mkt)
+		if c2 > c1+1e-12 {
+			return false
+		}
+		lo, _ := PriceScalar(100, x, 1, workload.MarketParams{R: mkt.R, Sigma: 0.1})
+		hi, _ := PriceScalar(100, x, 1, workload.MarketParams{R: mkt.R, Sigma: 0.5})
+		return hi >= lo-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Call is bounded by S and below by max(S - K e^{-rT}, 0).
+func TestNoArbitrageBoundsQuick(t *testing.T) {
+	f := func(su, xu, tu uint16) bool {
+		s := 10 + float64(su%190)
+		x := 10 + float64(xu%190)
+		tt := 0.1 + float64(tu%1000)/100
+		call, put := PriceScalar(s, x, tt, mkt)
+		lower := math.Max(s-x*mathx.Exp(-mkt.R*tt), 0)
+		if call < lower-1e-9 || call > s+1e-9 {
+			return false
+		}
+		return put >= 0-1e-9 && put <= x*mathx.Exp(-mkt.R*tt)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func genBatch(n int) layout.AOS {
+	return workload.DefaultOptionGen.GenerateAOS(n)
+}
+
+func maxDiffAOS(a, b layout.AOS) float64 {
+	var m float64
+	for i := 0; i < a.Len(); i++ {
+		m = math.Max(m, math.Abs(a.Call(i)-b.Call(i)))
+		m = math.Max(m, math.Abs(a.Put(i)-b.Put(i)))
+	}
+	return m
+}
+
+func TestBasicMatchesRefScalar(t *testing.T) {
+	for _, width := range []int{4, 8} {
+		a := genBatch(1003) // deliberately not a multiple of the width
+		b := genBatch(1003)
+		RefScalar(a, mkt, nil)
+		Basic(b, mkt, width, nil)
+		if d := maxDiffAOS(a, b); d > 1e-12 {
+			t.Fatalf("width %d: Basic differs from RefScalar by %g", width, d)
+		}
+	}
+}
+
+func TestIntermediateMatchesRefScalar(t *testing.T) {
+	for _, width := range []int{4, 8} {
+		a := genBatch(517)
+		RefScalar(a, mkt, nil)
+		s := workload.DefaultOptionGen.GenerateSOA(517)
+		Intermediate(s, mkt, width, nil)
+		for i := 0; i < 517; i++ {
+			if math.Abs(s.Call[i]-a.Call(i)) > 1e-10 || math.Abs(s.Put[i]-a.Put(i)) > 1e-10 {
+				t.Fatalf("width %d option %d: (%g,%g) vs (%g,%g)", width, i,
+					s.Call[i], s.Put[i], a.Call(i), a.Put(i))
+			}
+		}
+	}
+}
+
+func TestAdvancedMatchesRefScalar(t *testing.T) {
+	for _, width := range []int{4, 8} {
+		a := genBatch(5000) // exceeds one VML chunk
+		RefScalar(a, mkt, nil)
+		s := workload.DefaultOptionGen.GenerateSOA(5000)
+		Advanced(s, mkt, width, nil)
+		for i := 0; i < 5000; i++ {
+			if math.Abs(s.Call[i]-a.Call(i)) > 1e-10 || math.Abs(s.Put[i]-a.Put(i)) > 1e-10 {
+				t.Fatalf("width %d option %d mismatch", width, i)
+			}
+		}
+	}
+}
+
+func TestBasicCountsGathers(t *testing.T) {
+	var c perf.Counts
+	a := genBatch(layout.PadTo(1000, 8))
+	Basic(a, mkt, 8, &c)
+	n := uint64(a.Len())
+	vecs := n / 8
+	if got := c.Get(perf.OpGather); got != 3*vecs {
+		t.Fatalf("gathers = %d, want %d", got, 3*vecs)
+	}
+	if got := c.Get(perf.OpScatter); got != 2*vecs {
+		t.Fatalf("scatters = %d, want %d", got, 2*vecs)
+	}
+	if c.Get(perf.OpCND) != 4*n {
+		t.Fatalf("cnd = %d, want %d", c.Get(perf.OpCND), 4*n)
+	}
+	if c.Items != n {
+		t.Fatalf("items = %d", c.Items)
+	}
+	if c.BytesRead != 40*n || c.BytesWritten != 16*n {
+		t.Fatalf("traffic = %d/%d", c.BytesRead, c.BytesWritten)
+	}
+}
+
+func TestIntermediateCountsNoGathers(t *testing.T) {
+	var c perf.Counts
+	s := workload.DefaultOptionGen.GenerateSOA(layout.PadTo(1000, 8))
+	Intermediate(s, mkt, 8, &c)
+	if c.Get(perf.OpGather) != 0 || c.Get(perf.OpScatter) != 0 {
+		t.Fatalf("SOA variant performed gathers: %v", c)
+	}
+	n := uint64(s.Len())
+	if c.Get(perf.OpErf) != 2*n {
+		t.Fatalf("erf = %d, want %d", c.Get(perf.OpErf), 2*n)
+	}
+	if c.Get(perf.OpCND) != 0 {
+		t.Fatalf("cnd = %d, want 0 (parity + erf substitution)", c.Get(perf.OpCND))
+	}
+	if c.BytesRead != 24*n {
+		t.Fatalf("bytes read = %d, want %d", c.BytesRead, 24*n)
+	}
+}
+
+func TestAdvancedCounts(t *testing.T) {
+	var c perf.Counts
+	s := workload.DefaultOptionGen.GenerateSOA(4096)
+	Advanced(s, mkt, 8, &c)
+	if c.Get(perf.OpErf) != 2*4096*17/20 {
+		t.Fatalf("erf = %d (expect the 15%% VML amortization discount)", c.Get(perf.OpErf))
+	}
+	if c.Get(perf.OpVecLoad) == 0 || c.Get(perf.OpVecStore) == 0 {
+		t.Fatal("VML variant should charge intermediate-array traffic")
+	}
+	if c.Items != 4096 {
+		t.Fatalf("items = %d", c.Items)
+	}
+}
+
+func TestGreeksAgainstFiniteDifferences(t *testing.T) {
+	s, x, tt := 105.0, 100.0, 0.75
+	g := ComputeGreeks(s, x, tt, mkt)
+	const h = 1e-5
+	cUp, pUp := PriceScalar(s+h, x, tt, mkt)
+	cDn, pDn := PriceScalar(s-h, x, tt, mkt)
+	c0, _ := PriceScalar(s, x, tt, mkt)
+	if d := (cUp - cDn) / (2 * h); math.Abs(d-g.DeltaCall) > 1e-6 {
+		t.Fatalf("delta call fd %g vs %g", d, g.DeltaCall)
+	}
+	if d := (pUp - pDn) / (2 * h); math.Abs(d-g.DeltaPut) > 1e-6 {
+		t.Fatalf("delta put fd %g vs %g", d, g.DeltaPut)
+	}
+	if d := (cUp - 2*c0 + cDn) / (h * h); math.Abs(d-g.Gamma) > 1e-4 {
+		t.Fatalf("gamma fd %g vs %g", d, g.Gamma)
+	}
+	mktUp := workload.MarketParams{R: mkt.R, Sigma: mkt.Sigma + h}
+	mktDn := workload.MarketParams{R: mkt.R, Sigma: mkt.Sigma - h}
+	cvUp, _ := PriceScalar(s, x, tt, mktUp)
+	cvDn, _ := PriceScalar(s, x, tt, mktDn)
+	if d := (cvUp - cvDn) / (2 * h); math.Abs(d-g.Vega) > 1e-5 {
+		t.Fatalf("vega fd %g vs %g", d, g.Vega)
+	}
+	mrUp := workload.MarketParams{R: mkt.R + h, Sigma: mkt.Sigma}
+	mrDn := workload.MarketParams{R: mkt.R - h, Sigma: mkt.Sigma}
+	crUp, prUp := PriceScalar(s, x, tt, mrUp)
+	crDn, prDn := PriceScalar(s, x, tt, mrDn)
+	if d := (crUp - crDn) / (2 * h); math.Abs(d-g.RhoCall) > 1e-5 {
+		t.Fatalf("rho call fd %g vs %g", d, g.RhoCall)
+	}
+	if d := (prUp - prDn) / (2 * h); math.Abs(d-g.RhoPut) > 1e-5 {
+		t.Fatalf("rho put fd %g vs %g", d, g.RhoPut)
+	}
+	ctUp, ptUp := PriceScalar(s, x, tt-h, mkt) // theta: value decay as t advances
+	ctDn, ptDn := PriceScalar(s, x, tt+h, mkt)
+	if d := (ctUp - ctDn) / (2 * h); math.Abs(d-g.ThetaCall) > 1e-4 {
+		t.Fatalf("theta call fd %g vs %g", d, g.ThetaCall)
+	}
+	if d := (ptUp - ptDn) / (2 * h); math.Abs(d-g.ThetaPut) > 1e-4 {
+		t.Fatalf("theta put fd %g vs %g", d, g.ThetaPut)
+	}
+}
+
+func TestImpliedVolRoundTrip(t *testing.T) {
+	for _, sig := range []float64{0.05, 0.2, 0.45, 1.2} {
+		m := workload.MarketParams{R: 0.03, Sigma: sig}
+		call, _ := PriceScalar(100, 110, 0.5, m)
+		got, err := ImpliedVolCall(call, 100, 110, 0.5, 0.03)
+		if err != nil {
+			t.Fatalf("sigma %g: %v", sig, err)
+		}
+		if math.Abs(got-sig) > 1e-8 {
+			t.Fatalf("implied vol = %g, want %g", got, sig)
+		}
+	}
+}
+
+func TestImpliedVolArbitrage(t *testing.T) {
+	if _, err := ImpliedVolCall(200, 100, 100, 1, 0.05); err != ErrArbitrage {
+		t.Fatalf("price above S: err = %v", err)
+	}
+	if _, err := ImpliedVolCall(-1, 100, 100, 1, 0.05); err != ErrArbitrage {
+		t.Fatalf("negative price: err = %v", err)
+	}
+}
+
+// Property: round-trip implied vol across random moneyness.
+func TestImpliedVolQuick(t *testing.T) {
+	f := func(su, xu, sigU uint16) bool {
+		s := 50 + float64(su%100)
+		x := 50 + float64(xu%100)
+		sig := 0.05 + float64(sigU%100)/100
+		m := workload.MarketParams{R: 0.02, Sigma: sig}
+		call, _ := PriceScalar(s, x, 1, m)
+		vega := ComputeGreeks(s, x, 1, m).Vega
+		if call < 1e-10 || vega < 1e-3 {
+			return true // price carries no volatility information
+		}
+		got, err := ImpliedVolCall(call, s, x, 1, 0.02)
+		tol := math.Max(1e-6, 1e-9/vega)
+		return err == nil && math.Abs(got-sig) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRefScalar(b *testing.B) {
+	a := genBatch(10000)
+	b.SetBytes(10000 * 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RefScalar(a, mkt, nil)
+	}
+}
+
+func BenchmarkBasicW8(b *testing.B) {
+	a := genBatch(10000)
+	b.SetBytes(10000 * 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Basic(a, mkt, 8, nil)
+	}
+}
+
+func BenchmarkIntermediateW8(b *testing.B) {
+	s := workload.DefaultOptionGen.GenerateSOA(10000)
+	b.SetBytes(10000 * 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intermediate(s, mkt, 8, nil)
+	}
+}
+
+func BenchmarkAdvancedW8(b *testing.B) {
+	s := workload.DefaultOptionGen.GenerateSOA(10000)
+	b.SetBytes(10000 * 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Advanced(s, mkt, 8, nil)
+	}
+}
+
+// Vectorized batch greeks must match the scalar closed form.
+func TestGreeksBatchMatchesScalar(t *testing.T) {
+	for _, width := range []int{4, 8} {
+		s := workload.DefaultOptionGen.GenerateSOA(513) // force a tail
+		out := NewGreeksSOA(513)
+		GreeksBatch(s, out, mkt, width, nil)
+		for i := 0; i < 513; i++ {
+			want := ComputeGreeks(s.S[i], s.X[i], s.T[i], mkt)
+			if math.Abs(out.DeltaCall[i]-want.DeltaCall) > 1e-12 ||
+				math.Abs(out.DeltaPut[i]-want.DeltaPut) > 1e-12 {
+				t.Fatalf("width %d option %d: delta mismatch", width, i)
+			}
+			if math.Abs(out.Gamma[i]-want.Gamma) > 1e-12 {
+				t.Fatalf("width %d option %d: gamma %g vs %g", width, i, out.Gamma[i], want.Gamma)
+			}
+			if math.Abs(out.Vega[i]-want.Vega) > 1e-9 {
+				t.Fatalf("width %d option %d: vega %g vs %g", width, i, out.Vega[i], want.Vega)
+			}
+		}
+	}
+}
+
+func TestGreeksBatchCounts(t *testing.T) {
+	s := workload.DefaultOptionGen.GenerateSOA(layout.PadTo(1000, 8))
+	out := NewGreeksSOA(s.Len())
+	var c perf.Counts
+	GreeksBatch(s, out, mkt, 8, &c)
+	n := uint64(s.Len())
+	if c.Get(perf.OpErf) != n || c.Get(perf.OpExp) != n {
+		t.Fatalf("erf/exp = %d/%d, want %d each", c.Get(perf.OpErf), c.Get(perf.OpExp), n)
+	}
+	if c.Items != n {
+		t.Fatalf("items = %d", c.Items)
+	}
+}
+
+func BenchmarkGreeksBatchW8(b *testing.B) {
+	s := workload.DefaultOptionGen.GenerateSOA(100000)
+	out := NewGreeksSOA(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreeksBatch(s, out, mkt, 8, nil)
+	}
+}
+
+// Operation counts must be independent of the worker count (per-worker
+// counters merge additively; the work split cannot change the mix).
+func TestCountsWorkerInvariant(t *testing.T) {
+	s := workload.DefaultOptionGen.GenerateSOA(layout.PadTo(4096, 8))
+	var c1 perf.Counts
+	Intermediate(s, mkt, 8, &c1)
+
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	var c4 perf.Counts
+	Intermediate(s, mkt, 8, &c4)
+
+	// Per-worker loop setup (the three invariant broadcasts) legitimately
+	// scales with the worker count; everything else must match exactly.
+	for op := 0; op < perf.NumOps; op++ {
+		if perf.Op(op) == perf.OpVecMisc {
+			d := int64(c4.N[op]) - int64(c1.N[op])
+			if d < 0 || d > 64 {
+				t.Fatalf("misc setup drift too large: %d vs %d", c1.N[op], c4.N[op])
+			}
+			continue
+		}
+		if c1.N[op] != c4.N[op] {
+			t.Fatalf("op %v depends on worker count: %d vs %d", perf.Op(op), c1.N[op], c4.N[op])
+		}
+	}
+	if c1.Items != c4.Items || c1.BytesRead != c4.BytesRead || c1.BytesWritten != c4.BytesWritten {
+		t.Fatal("items/traffic depend on worker count")
+	}
+}

@@ -1,0 +1,37 @@
+package blackscholes
+
+import (
+	"math"
+	"testing"
+
+	"finbench/internal/workload"
+)
+
+// FuzzPriceScalar checks that the closed form never returns NaN, negative
+// prices, or arbitrage violations for any valid parameter combination.
+func FuzzPriceScalar(f *testing.F) {
+	f.Add(100.0, 100.0, 1.0, 0.05, 0.2)
+	f.Add(1e-3, 1e3, 10.0, 0.0, 1.5)
+	f.Add(500.0, 1.0, 0.01, 0.15, 0.05)
+	f.Fuzz(func(t *testing.T, s, x, tt, r, sig float64) {
+		if !(s > 1e-6 && s < 1e6) || !(x > 1e-6 && x < 1e6) ||
+			!(tt > 1e-4 && tt < 100) || !(r >= 0 && r < 0.5) || !(sig > 1e-3 && sig < 3) {
+			return
+		}
+		mkt := workload.MarketParams{R: r, Sigma: sig}
+		call, put := PriceScalar(s, x, tt, mkt)
+		if math.IsNaN(call) || math.IsNaN(put) {
+			t.Fatalf("NaN price for S=%g X=%g T=%g r=%g sig=%g", s, x, tt, r, sig)
+		}
+		if call < -1e-9 || put < -1e-9 {
+			t.Fatalf("negative price: call=%g put=%g", call, put)
+		}
+		if call > s*(1+1e-12) {
+			t.Fatalf("call %g above spot %g", call, s)
+		}
+		disc := x * math.Exp(-r*tt)
+		if parity := (call - put) - (s - disc); math.Abs(parity) > 1e-6*(1+s+x) {
+			t.Fatalf("parity violated by %g", parity)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package blackscholes
+
+import (
+	"math"
+
+	"finbench/internal/parallel"
+	"finbench/internal/workload"
+)
+
+// Single-precision kernels. Table I lists both precisions (691 vs 346
+// GFLOP/s on SNB-EP, 2127 vs 1063 on KNC): SP doubles the SIMD lane count,
+// so compute-bound kernels run up to 2x faster, and SP option batches
+// (3 x 4 input + 2 x 4 output bytes = 20 B/option) halve the bandwidth
+// bound too. Production pricing desks trade the ~1e-5 relative accuracy of
+// SP for exactly that throughput, which is why SP peaks headline vendor
+// tables; these kernels quantify the accuracy side of that trade (see
+// TestSPAccuracy).
+
+// SOA32 is the single-precision structure-of-arrays option batch.
+type SOA32 struct {
+	S, X, T   []float32
+	Call, Put []float32
+}
+
+// NewSOA32 allocates a single-precision batch of n options.
+func NewSOA32(n int) *SOA32 {
+	return &SOA32{
+		S:    make([]float32, n),
+		X:    make([]float32, n),
+		T:    make([]float32, n),
+		Call: make([]float32, n),
+		Put:  make([]float32, n),
+	}
+}
+
+// Len returns the option count.
+func (s *SOA32) Len() int { return len(s.S) }
+
+// FromSOA converts a double-precision batch (inputs only).
+func FromSOA(d *SOAView) *SOA32 {
+	n := len(d.S)
+	s := NewSOA32(n)
+	for i := 0; i < n; i++ {
+		s.S[i] = float32(d.S[i])
+		s.X[i] = float32(d.X[i])
+		s.T[i] = float32(d.T[i])
+	}
+	return s
+}
+
+// SOAView is the minimal double-precision input view FromSOA reads.
+type SOAView struct {
+	S, X, T []float64
+}
+
+// PriceScalar32 prices one option entirely in float32 arithmetic
+// (transcendentals evaluate through the float64 kernels and round, as
+// hardware SP SVML would with ~1e-7 relative accuracy; the accumulated
+// formula error dominates).
+func PriceScalar32(s, x, t float32, mkt workload.MarketParams) (call, put float32) {
+	r := float32(mkt.R)
+	sig := float32(mkt.Sigma)
+	sig22 := sig * sig / 2
+	qlog := log32(s / x)
+	denom := 1 / (sig * sqrt32(t))
+	d1 := (qlog + (r+sig22)*t) * denom
+	d2 := (qlog + (r-sig22)*t) * denom
+	xexp := x * exp32(-r*t)
+	call = s*cnd32(d1) - xexp*cnd32(d2)
+	put = xexp*cnd32(-d2) - s*cnd32(-d1)
+	return call, put
+}
+
+func log32(x float32) float32  { return float32(math.Log(float64(x))) }
+func exp32(x float32) float32  { return float32(math.Exp(float64(x))) }
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+func cnd32(x float32) float32  { return float32(0.5 * math.Erfc(-float64(x)*math.Sqrt2/2)) }
+
+// PriceBatch32 prices the batch in parallel with the SP scalar kernel (the
+// SP analogue of the Intermediate level; SIMD lanes double in the model).
+func PriceBatch32(s *SOA32, mkt workload.MarketParams) {
+	parallel.For(s.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.Call[i], s.Put[i] = PriceScalar32(s.S[i], s.X[i], s.T[i], mkt)
+		}
+	})
+}
+
+// SPBytesPerOption is the DRAM traffic of one SP option (vs 40 in DP),
+// halving the B/40 bandwidth bound of Fig. 4.
+const SPBytesPerOption = 20

@@ -1,0 +1,66 @@
+package blackscholes
+
+import (
+	"math"
+	"testing"
+
+	"finbench/internal/workload"
+)
+
+// SP prices must track DP within single-precision formula error (~1e-5
+// relative for non-degenerate options) — the accuracy half of the
+// SP-vs-DP throughput trade.
+func TestSPAccuracy(t *testing.T) {
+	g := workload.DefaultOptionGen
+	g.TMax = 3
+	soa := g.GenerateSOA(2000)
+	sp := FromSOA(&SOAView{S: soa.S, X: soa.X, T: soa.T})
+	PriceBatch32(sp, mkt)
+	Intermediate(soa, mkt, 8, nil)
+	for i := 0; i < soa.Len(); i++ {
+		dp := soa.Call[i]
+		got := float64(sp.Call[i])
+		if math.Abs(got-dp) > 1e-4*math.Max(1, dp) {
+			t.Fatalf("option %d: SP call %g vs DP %g", i, got, dp)
+		}
+		dpPut := soa.Put[i]
+		if math.Abs(float64(sp.Put[i])-dpPut) > 1e-4*math.Max(1, dpPut) {
+			t.Fatalf("option %d: SP put %g vs DP %g", i, sp.Put[i], dpPut)
+		}
+	}
+}
+
+func TestSPKnownValue(t *testing.T) {
+	call, put := PriceScalar32(100, 100, 1, mkt)
+	if math.Abs(float64(call)-10.450583572185565) > 1e-4 {
+		t.Fatalf("SP call = %g", call)
+	}
+	if math.Abs(float64(put)-5.573526022256971) > 1e-4 {
+		t.Fatalf("SP put = %g", put)
+	}
+}
+
+func TestSPParity(t *testing.T) {
+	call, put := PriceScalar32(110, 95, 0.5, mkt)
+	want := float32(110) - 95*exp32(-float32(mkt.R)*0.5)
+	if diff := (call - put) - want; diff > 2e-4 || diff < -2e-4 {
+		t.Fatalf("SP parity off by %g", diff)
+	}
+}
+
+func TestSPBandwidthBoundHalved(t *testing.T) {
+	if SPBytesPerOption*2 != 40 {
+		t.Fatal("SP option footprint must be half of DP's 40 bytes")
+	}
+}
+
+func BenchmarkPriceBatch32(b *testing.B) {
+	g := workload.DefaultOptionGen
+	soa := g.GenerateSOA(100000)
+	sp := FromSOA(&SOAView{S: soa.S, X: soa.X, T: soa.T})
+	b.SetBytes(100000 * SPBytesPerOption)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PriceBatch32(sp, mkt)
+	}
+}

@@ -1,0 +1,92 @@
+package cranknicolson
+
+import (
+	"sync"
+
+	"finbench/internal/layout"
+	"finbench/internal/parallel"
+	"finbench/internal/perf"
+	"finbench/internal/workload"
+)
+
+// Batch drivers: the paper parallelizes "across different options using
+// OpenMP pragmas" with SIMD inside each option's GSOR solve (Sec. IV-E2),
+// which keeps the working set in L2 and scales for small option counts.
+// Each driver prices American puts for every option in the AOS batch
+// (strike = X, spot = S, maturity = T), writing the put price into the
+// Put output slot.
+
+// Level selects the optimization level of a batch solve.
+type Level int
+
+const (
+	// LevelRef is the scalar reference (Lis. 6/7).
+	LevelRef Level = iota
+	// LevelIntermediate is the manual wavefront SIMD over flat arrays.
+	LevelIntermediate
+	// LevelAdvanced adds the even/odd data-structure transformation.
+	LevelAdvanced
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelRef:
+		return "reference"
+	case LevelIntermediate:
+		return "wavefront-simd"
+	case LevelAdvanced:
+		return "wavefront-simd+reorder"
+	default:
+		return "unknown"
+	}
+}
+
+// Run prices the batch at the given level. jpoints/nsteps size the lattice
+// (Fig. 8 uses 256 and 1000); width is the SIMD width for the vector
+// levels. Returns the total GSOR sweep count across options.
+func Run(level Level, a layout.AOS, jpoints, nsteps, width int, mkt workload.MarketParams, c *perf.Counts) int {
+	n := a.Len()
+	var mu sync.Mutex
+	totalSweeps := 0
+	run := func(lo, hi int, c *perf.Counts) {
+		sweeps := 0
+		for i := lo; i < hi; i++ {
+			s := NewSolver(a.T(i), jpoints, nsteps, DefaultAlpha, mkt)
+			var u []float64
+			var sw int
+			switch level {
+			case LevelRef:
+				u, sw = s.SolveScalar(c)
+			case LevelIntermediate:
+				u, sw = s.SolveWavefront(width, c)
+			case LevelAdvanced:
+				u, sw = s.SolveWavefrontSplit(width, c)
+			default:
+				panic("cranknicolson: unknown level")
+			}
+			sweeps += sw
+			a.SetResult(i, 0, s.Price(u, a.S(i), a.X(i)))
+		}
+		mu.Lock()
+		totalSweeps += sweeps
+		mu.Unlock()
+	}
+	if c == nil {
+		parallel.ForDynamic(n, 1, func(lo, hi int) { run(lo, hi, nil) })
+	} else {
+		var cmu sync.Mutex
+		parallel.ForIndexed(n, func(_, lo, hi int) {
+			var local perf.Counts
+			run(lo, hi, &local)
+			cmu.Lock()
+			c.Merge(local)
+			cmu.Unlock()
+		})
+		// Grid state fits in L2 (Sec. IV-E2); DRAM traffic is the option
+		// parameters in and one price out.
+		c.AddBytes(uint64(24*n), uint64(8*n))
+		c.Items += uint64(n)
+	}
+	return totalSweeps
+}

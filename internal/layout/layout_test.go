@@ -1,0 +1,143 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAOSAccessors(t *testing.T) {
+	a := NewAOS(3)
+	a.Set(1, 100, 110, 2.5)
+	a.SetResult(1, 7.5, 12.25)
+	if a.S(1) != 100 || a.X(1) != 110 || a.T(1) != 2.5 {
+		t.Fatalf("inputs wrong: %g %g %g", a.S(1), a.X(1), a.T(1))
+	}
+	if a.Call(1) != 7.5 || a.Put(1) != 12.25 {
+		t.Fatalf("outputs wrong: %g %g", a.Call(1), a.Put(1))
+	}
+	if a.S(0) != 0 || a.S(2) != 0 {
+		t.Fatal("neighbouring records touched")
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestAOSMemoryLayout(t *testing.T) {
+	// Record i's fields must be contiguous at stride 5 — the property that
+	// makes the reference kernels' gathers strided.
+	a := NewAOS(2)
+	a.Set(0, 1, 2, 3)
+	a.SetResult(0, 4, 5)
+	a.Set(1, 6, 7, 8)
+	want := []float64{1, 2, 3, 4, 5, 6, 7, 8, 0, 0}
+	for i, w := range want {
+		if a.Data[i] != w {
+			t.Fatalf("Data[%d] = %g, want %g", i, a.Data[i], w)
+		}
+	}
+}
+
+func TestSOARoundTrip(t *testing.T) {
+	a := NewAOS(5)
+	for i := 0; i < 5; i++ {
+		a.Set(i, float64(i)+1, float64(i)*2, float64(i)/2)
+		a.SetResult(i, float64(i)*10, float64(i)*20)
+	}
+	b := a.ToSOA().ToAOS()
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("round trip differs at %d: %g != %g", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestSOARoundTripQuick(t *testing.T) {
+	f := func(s, x, tt, c, p float64) bool {
+		a := NewAOS(1)
+		a.Set(0, s, x, tt)
+		a.SetResult(0, c, p)
+		b := a.ToSOA().ToAOS()
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] && a.Data[i] == a.Data[i] { // skip NaN
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSOALen(t *testing.T) {
+	if NewSOA(7).Len() != 7 {
+		t.Fatal("SOA Len wrong")
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	cases := []struct{ n, w, want int }{
+		{0, 8, 0}, {1, 8, 8}, {8, 8, 8}, {9, 8, 16}, {10, 4, 12}, {5, 1, 5}, {5, 0, 5},
+	}
+	for _, c := range cases {
+		if got := PadTo(c.n, c.w); got != c.want {
+			t.Fatalf("PadTo(%d,%d) = %d, want %d", c.n, c.w, got, c.want)
+		}
+	}
+}
+
+func TestBlocked(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	b := NewBlocked(vals, 4)
+	if b.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d", b.NumBlocks())
+	}
+	if got := b.Block(0); got[0] != 1 || got[3] != 4 {
+		t.Fatalf("block 0 = %v", got)
+	}
+	// Padding replicates the last value.
+	if got := b.Block(1); got[0] != 5 || got[1] != 5 || got[3] != 5 {
+		t.Fatalf("block 1 padding = %v", got)
+	}
+	out := b.Unblock()
+	if len(out) != 5 {
+		t.Fatalf("Unblock len = %d", len(out))
+	}
+	for i, v := range vals {
+		if out[i] != v {
+			t.Fatalf("Unblock[%d] = %g", i, out[i])
+		}
+	}
+}
+
+func TestBlockedExactMultiple(t *testing.T) {
+	b := NewBlocked([]float64{1, 2, 3, 4}, 4)
+	if b.NumBlocks() != 1 || len(b.Data) != 4 {
+		t.Fatalf("exact multiple padded: %v", b)
+	}
+}
+
+// Property: Unblock(NewBlocked(v, w)) == v for any width.
+func TestBlockedRoundTripQuick(t *testing.T) {
+	f := func(raw []float64, wsel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := []int{1, 2, 4, 8}[wsel%4]
+		b := NewBlocked(raw, w)
+		out := b.Unblock()
+		if len(out) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if out[i] != raw[i] && raw[i] == raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets double as regression suites: `go test` runs the seed corpus,
+// `go test -fuzz=FuzzName` explores.
+
+func FuzzExpLogRoundTrip(f *testing.F) {
+	for _, x := range []float64{1e-300, 1e-10, 0.5, 1, 2, 1e10, 1e300} {
+		f.Add(x)
+	}
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) || x <= 0 || math.IsInf(x, 0) {
+			return
+		}
+		y := Exp(Log(x))
+		if x > 1e-290 && x < 1e290 {
+			if math.Abs(y-x) > 1e-12*x {
+				t.Fatalf("Exp(Log(%g)) = %g", x, y)
+			}
+		}
+	})
+}
+
+func FuzzCNDInverse(f *testing.F) {
+	for _, p := range []float64{1e-12, 0.001, 0.25, 0.5, 0.75, 0.999, 1 - 1e-12} {
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, p float64) {
+		if math.IsNaN(p) || p <= 0 || p >= 1 {
+			return
+		}
+		x := InvCND(p)
+		if math.IsNaN(x) {
+			t.Fatalf("InvCND(%g) = NaN", p)
+		}
+		back := CND(x)
+		if math.Abs(back-p) > 1e-12*p+1e-15 {
+			t.Fatalf("CND(InvCND(%g)) = %g", p, back)
+		}
+	})
+}
+
+func FuzzErfBounds(f *testing.F) {
+	for _, x := range []float64{-50, -3, -0.1, 0, 0.1, 3, 50} {
+		f.Add(x)
+	}
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) {
+			return
+		}
+		e := Erf(x)
+		if e < -1 || e > 1 {
+			t.Fatalf("Erf(%g) = %g out of [-1,1]", x, e)
+		}
+		c := Erfc(x)
+		if c < 0 || c > 2 {
+			t.Fatalf("Erfc(%g) = %g out of [0,2]", x, c)
+		}
+		if !math.IsInf(x, 0) && math.Abs(e+c-1) > 1e-12 {
+			t.Fatalf("Erf+Erfc = %g at %g", e+c, x)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"finbench/internal/blackscholes"
+)
+
+var dob = DownOutCall{S: 100, X: 100, H: 85, T: 1, Steps: 64}
+
+func TestBarrierClosedFormBounds(t *testing.T) {
+	cdo, err := DownOutCallClosedForm(dob, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vanilla, _ := blackscholes.PriceScalar(100, 100, 1, mkt)
+	if cdo <= 0 || cdo >= vanilla {
+		t.Fatalf("down-and-out %g outside (0, vanilla %g)", cdo, vanilla)
+	}
+	// A barrier far below spot barely bites: price approaches vanilla.
+	far := dob
+	far.H = 20
+	cdoFar, _ := DownOutCallClosedForm(far, mkt)
+	if vanilla-cdoFar > 0.01 {
+		t.Fatalf("distant barrier: %g vs vanilla %g", cdoFar, vanilla)
+	}
+	// A barrier just below spot kills most value.
+	near := dob
+	near.H = 99
+	cdoNear, _ := DownOutCallClosedForm(near, mkt)
+	if cdoNear > 0.5*vanilla {
+		t.Fatalf("near barrier retains too much value: %g", cdoNear)
+	}
+}
+
+// The bridge-corrected MC must match the continuous-monitoring closed form.
+// This cross-validates two fully independent implementations: the Merton
+// reflection formula and the per-interval crossing probability.
+func TestBarrierCorrectedMCMatchesClosedForm(t *testing.T) {
+	want, err := DownOutCallClosedForm(dob, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DownOutCallMC(dob, 1<<17, 11, true, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Price-want) > 4*got.StdErr+0.02 {
+		t.Fatalf("corrected MC %g +- %g vs closed form %g", got.Price, got.StdErr, want)
+	}
+}
+
+// The uncorrected (discrete-monitoring) estimator must be biased high —
+// it misses intra-interval crossings — and must approach the continuous
+// value as monitoring frequency grows.
+func TestBarrierDiscreteMonitoringBias(t *testing.T) {
+	cont, _ := DownOutCallClosedForm(dob, mkt)
+
+	coarse := dob
+	coarse.Steps = 8
+	d8, err := DownOutCallMC(coarse, 1<<16, 5, false, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := dob
+	fine.Steps = 256
+	d256, err := DownOutCallMC(fine, 1<<16, 5, false, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d8.Price <= cont {
+		t.Fatalf("8-date discrete %g not above continuous %g", d8.Price, cont)
+	}
+	if d256.Price <= cont-4*d256.StdErr {
+		t.Fatalf("256-date discrete %g fell below continuous %g", d256.Price, cont)
+	}
+	if d256.Price >= d8.Price {
+		t.Fatalf("finer monitoring %g did not reduce the discrete price %g", d256.Price, d8.Price)
+	}
+}
+
+func TestBarrierValidation(t *testing.T) {
+	bad := dob
+	bad.H = 120 // above spot and strike
+	if _, err := DownOutCallClosedForm(bad, mkt); err != ErrBarrier {
+		t.Fatalf("H above S: %v", err)
+	}
+	if _, err := DownOutCallMC(bad, 10, 1, true, mkt); err != ErrBarrier {
+		t.Fatalf("MC accepted bad barrier: %v", err)
+	}
+	bad = dob
+	bad.Steps = 0
+	if _, err := DownOutCallMC(bad, 10, 1, true, mkt); err != ErrBarrier {
+		t.Fatal("zero steps accepted")
+	}
+}
+
+func TestBarrierMonotoneInBarrier(t *testing.T) {
+	prev := math.Inf(1)
+	for _, h := range []float64{60, 75, 90, 98} {
+		b := dob
+		b.H = h
+		cdo, err := DownOutCallClosedForm(b, mkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cdo >= prev {
+			t.Fatalf("H=%g: price %g not decreasing (prev %g)", h, cdo, prev)
+		}
+		prev = cdo
+	}
+}
+
+func BenchmarkBarrierCorrectedMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		DownOutCallMC(dob, 1<<14, 1, true, mkt)
+	}
+}

@@ -1,0 +1,104 @@
+package montecarlo
+
+import (
+	"errors"
+
+	"finbench/internal/mathx"
+	"finbench/internal/rng"
+	"finbench/internal/workload"
+)
+
+// Heston (1993) stochastic volatility: the variance itself follows a CIR
+// square-root diffusion correlated with the asset,
+//
+//	dS = r S dt + sqrt(v) S dW1
+//	dv = Kappa (ThetaV - v) dt + SigmaV sqrt(v) dW2,   corr(dW1,dW2) = Rho.
+//
+// Simulated with the full-truncation Euler scheme (the standard robust
+// discretization: the variance is floored at zero inside the square roots
+// but the process itself may go negative between floors). Validation does
+// not need the semi-analytic Fourier price: as SigmaV -> 0 the variance
+// path becomes deterministic and the model reduces to Black-Scholes with
+// the time-averaged volatility, which the tests pin.
+
+// HestonParams holds the variance dynamics.
+type HestonParams struct {
+	// V0 is the initial variance (vol^2).
+	V0 float64
+	// Kappa is the mean-reversion speed; ThetaV the long-run variance.
+	Kappa, ThetaV float64
+	// SigmaV is the vol-of-vol; Rho the asset-variance correlation.
+	SigmaV, Rho float64
+}
+
+// ErrHeston indicates invalid Heston parameters.
+var ErrHeston = errors.New("montecarlo: need V0 >= 0, Kappa >= 0, ThetaV >= 0, SigmaV >= 0, |Rho| <= 1")
+
+// FellerSatisfied reports whether 2 Kappa ThetaV >= SigmaV^2, the condition
+// under which the exact CIR process stays strictly positive.
+func (h HestonParams) FellerSatisfied() bool {
+	return 2*h.Kappa*h.ThetaV >= h.SigmaV*h.SigmaV
+}
+
+// HestonCallMC prices a European call under Heston dynamics with
+// full-truncation Euler over `steps` intervals.
+func HestonCallMC(s, x, t float64, hp HestonParams, npaths, steps int, seed uint64, mkt workload.MarketParams) (Result, error) {
+	if hp.V0 < 0 || hp.Kappa < 0 || hp.ThetaV < 0 || hp.SigmaV < 0 || hp.Rho < -1 || hp.Rho > 1 {
+		return Result{}, ErrHeston
+	}
+	if steps < 1 || npaths < 1 {
+		return Result{}, errors.New("montecarlo: need steps >= 1 and npaths >= 1")
+	}
+	dt := t / float64(steps)
+	sqDt := mathx.Sqrt(dt)
+	rhoC := mathx.Sqrt(1 - hp.Rho*hp.Rho)
+	df := mathx.Exp(-mkt.R * t)
+	stream := rng.NewStream(0, seed)
+	z := make([]float64, 2*steps)
+	var v0acc, v1acc float64
+	for p := 0; p < npaths; p++ {
+		stream.NormalICDF(z)
+		logS := 0.0
+		v := hp.V0
+		for k := 0; k < steps; k++ {
+			vp := v
+			if vp < 0 {
+				vp = 0
+			}
+			sqV := mathx.Sqrt(vp)
+			z1 := z[2*k]
+			z2 := hp.Rho*z1 + rhoC*z[2*k+1]
+			logS += (mkt.R-vp/2)*dt + sqV*sqDt*z1
+			v += hp.Kappa*(hp.ThetaV-vp)*dt + hp.SigmaV*sqV*sqDt*z2
+		}
+		payoff := s*mathx.Exp(logS) - x
+		if payoff < 0 {
+			payoff = 0
+		}
+		payoff *= df
+		v0acc += payoff
+		v1acc += payoff * payoff
+	}
+	nn := float64(npaths)
+	mean := v0acc / nn
+	variance := v1acc/nn - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Result{Price: mean, StdErr: mathx.Sqrt(variance / nn)}, nil
+}
+
+// HestonEffectiveVol returns the Black-Scholes-equivalent volatility of the
+// deterministic-variance limit (SigmaV = 0): the square root of the
+// time-averaged CIR mean path
+//
+//	v(t) = ThetaV + (V0 - ThetaV) e^{-Kappa t},
+//	vbar = ThetaV + (V0 - ThetaV) (1 - e^{-Kappa T})/(Kappa T).
+func HestonEffectiveVol(hp HestonParams, t float64) float64 {
+	if hp.Kappa == 0 {
+		return mathx.Sqrt(hp.V0)
+	}
+	kT := hp.Kappa * t
+	vbar := hp.ThetaV + (hp.V0-hp.ThetaV)*(1-mathx.Exp(-kT))/kT
+	return mathx.Sqrt(vbar)
+}

@@ -1,0 +1,126 @@
+package montecarlo
+
+import (
+	"errors"
+
+	"finbench/internal/mathx"
+	"finbench/internal/rng"
+	"finbench/internal/workload"
+)
+
+// Merton (1976) jump-diffusion: the underlying follows GBM plus compound
+// Poisson jumps with lognormal sizes. It is the classic first step beyond
+// Black-Scholes (Premia, which the paper cites as the precursor benchmark,
+// ships it), and it admits a closed form — a Poisson-weighted series of
+// Black-Scholes prices — making it an ideal cross-validation pair for the
+// jump Monte Carlo engine.
+
+// JumpParams extends the market with jump dynamics: jumps arrive at
+// Poisson rate Lambda per year; log jump sizes are N(Mu, Delta^2).
+type JumpParams struct {
+	Lambda, Mu, Delta float64
+}
+
+// ErrJump indicates invalid jump parameters.
+var ErrJump = errors.New("montecarlo: need Lambda >= 0 and Delta >= 0")
+
+// kBar returns E[e^J - 1], the expected relative jump size.
+func (j JumpParams) kBar() float64 {
+	return mathx.Exp(j.Mu+j.Delta*j.Delta/2) - 1
+}
+
+// MertonCallClosedForm evaluates the jump-diffusion call as the series
+//
+//	C = sum_n e^{-l'T} (l'T)^n / n! * BS(S, X, T; r_n, sigma_n)
+//
+// with l' = Lambda (1+kBar), sigma_n^2 = sigma^2 + n Delta^2 / T and
+// r_n = r - Lambda kBar + n ln(1+kBar)/T, truncated when the Poisson
+// weight tail falls below 1e-12.
+func MertonCallClosedForm(s, x, t float64, jp JumpParams, mkt workload.MarketParams) (float64, error) {
+	if jp.Lambda < 0 || jp.Delta < 0 {
+		return 0, ErrJump
+	}
+	kb := jp.kBar()
+	lp := jp.Lambda * (1 + kb)
+	lpT := lp * t
+	weight := mathx.Exp(-lpT) // n = 0 Poisson weight
+	var price float64
+	ln1k := mathx.Log(1 + kb)
+	for n := 0; n < 200; n++ {
+		sigN := mathx.Sqrt(mkt.Sigma*mkt.Sigma + float64(n)*jp.Delta*jp.Delta/t)
+		rN := mkt.R - jp.Lambda*kb + float64(n)*ln1k/t
+		price += weight * bsCall(s, x, t, rN, sigN)
+		weight *= lpT / float64(n+1)
+		if weight < 1e-12 && n > int(lpT) {
+			break
+		}
+	}
+	return price, nil
+}
+
+// bsCall is the plain Black-Scholes call for arbitrary (r, sigma).
+func bsCall(s, x, t, r, sig float64) float64 {
+	sqT := mathx.Sqrt(t)
+	d1 := (mathx.Log(s/x) + (r+sig*sig/2)*t) / (sig * sqT)
+	d2 := d1 - sig*sqT
+	return s*mathx.CND(d1) - x*mathx.Exp(-r*t)*mathx.CND(d2)
+}
+
+// MertonCallMC prices the same call by simulation: conditionally on n
+// jumps the terminal log-price is Gaussian, so each path draws
+// n ~ Poisson(Lambda T), a standard normal for the diffusion, and n jump
+// sizes (folded into one Gaussian draw since their sum is N(n Mu,
+// n Delta^2)).
+func MertonCallMC(s, x, t float64, jp JumpParams, npaths int, seed uint64, mkt workload.MarketParams) (Result, error) {
+	if jp.Lambda < 0 || jp.Delta < 0 {
+		return Result{}, ErrJump
+	}
+	kb := jp.kBar()
+	drift := (mkt.R - jp.Lambda*kb - mkt.Sigma*mkt.Sigma/2) * t
+	volT := mkt.Sigma * mathx.Sqrt(t)
+	df := mathx.Exp(-mkt.R * t)
+	stream := rng.NewStream(0, seed)
+	z := make([]float64, 2)
+	var v0, v1 float64
+	for p := 0; p < npaths; p++ {
+		n := poissonDraw(stream, jp.Lambda*t)
+		stream.NormalICDF(z)
+		logS := drift + volT*z[0]
+		if n > 0 {
+			fn := float64(n)
+			logS += fn*jp.Mu + mathx.Sqrt(fn)*jp.Delta*z[1]
+		}
+		payoff := s*mathx.Exp(logS) - x
+		if payoff < 0 {
+			payoff = 0
+		}
+		payoff *= df
+		v0 += payoff
+		v1 += payoff * payoff
+	}
+	nn := float64(npaths)
+	mean := v0 / nn
+	variance := v1/nn - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Result{Price: mean, StdErr: mathx.Sqrt(variance / nn)}, nil
+}
+
+// poissonDraw samples Poisson(lambda) by Knuth's product method (lambda is
+// small here — a few jumps per contract).
+func poissonDraw(stream *rng.Stream, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	limit := mathx.Exp(-lambda)
+	u := make([]float64, 1)
+	prod := 1.0
+	n := -1
+	for prod > limit {
+		stream.Uniform(u)
+		prod *= u[0]
+		n++
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"finbench/internal/blackscholes"
+	"finbench/internal/rng"
+	"finbench/internal/workload"
+)
+
+var jp = JumpParams{Lambda: 0.5, Mu: -0.1, Delta: 0.15}
+
+// The Merton series with Lambda = 0 must equal plain Black-Scholes.
+func TestMertonReducesToBS(t *testing.T) {
+	want, _ := blackscholes.PriceScalar(100, 105, 1, mkt)
+	got, err := MertonCallClosedForm(100, 105, 1, JumpParams{}, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-10 {
+		t.Fatalf("Lambda=0 Merton %g vs BS %g", got, want)
+	}
+}
+
+// Closed form vs Monte Carlo: two independent implementations of the same
+// model must agree within the MC confidence interval.
+func TestMertonMCMatchesClosedForm(t *testing.T) {
+	want, err := MertonCallClosedForm(100, 100, 1, jp, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MertonCallMC(100, 100, 1, jp, 1<<17, 9, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Price-want) > 4*got.StdErr+0.01 {
+		t.Fatalf("Merton MC %g +- %g vs closed form %g", got.Price, got.StdErr, want)
+	}
+}
+
+// Jump risk is priced: the jump-diffusion call exceeds the BS call for
+// symmetric-ish jumps (extra kurtosis raises OTM option value).
+func TestMertonJumpPremium(t *testing.T) {
+	bs, _ := blackscholes.PriceScalar(100, 120, 1, mkt)
+	jump, _ := MertonCallClosedForm(100, 120, 1, JumpParams{Lambda: 1, Mu: 0, Delta: 0.2}, mkt)
+	if jump <= bs {
+		t.Fatalf("OTM jump call %g not above BS %g", jump, bs)
+	}
+}
+
+func TestMertonValidation(t *testing.T) {
+	if _, err := MertonCallClosedForm(100, 100, 1, JumpParams{Lambda: -1}, mkt); err != ErrJump {
+		t.Fatal("negative lambda accepted")
+	}
+	if _, err := MertonCallMC(100, 100, 1, JumpParams{Delta: -1}, 10, 1, mkt); err != ErrJump {
+		t.Fatal("negative delta accepted")
+	}
+}
+
+func TestPoissonDraw(t *testing.T) {
+	stream := rng.NewStream(0, 3)
+	const n = 50000
+	lambda := 1.7
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		k := float64(poissonDraw(stream, lambda))
+		sum += k
+		sum2 += k * k
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-lambda) > 0.03 {
+		t.Fatalf("Poisson mean %g, want %g", mean, lambda)
+	}
+	if math.Abs(variance-lambda) > 0.06 {
+		t.Fatalf("Poisson variance %g, want %g", variance, lambda)
+	}
+	if poissonDraw(stream, 0) != 0 {
+		t.Fatal("lambda=0 should give 0 jumps")
+	}
+}
+
+// Heston with SigmaV = 0 has a deterministic variance path: the price must
+// match Black-Scholes at the time-averaged volatility.
+func TestHestonDeterministicLimit(t *testing.T) {
+	hp := HestonParams{V0: 0.09, Kappa: 2, ThetaV: 0.04, SigmaV: 0, Rho: 0}
+	effVol := HestonEffectiveVol(hp, 1)
+	want, _ := blackscholes.PriceScalar(100, 100, 1,
+		mktWithVol(effVol))
+	got, err := HestonCallMC(100, 100, 1, hp, 1<<16, 64, 5, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Euler discretization of the drift adds O(dt) bias on top of MC noise.
+	if math.Abs(got.Price-want) > 4*got.StdErr+0.05 {
+		t.Fatalf("Heston sigmaV=0 %g +- %g vs BS(effvol) %g", got.Price, got.StdErr, want)
+	}
+}
+
+func mktWithVol(v float64) workload.MarketParams {
+	m := mkt
+	m.Sigma = v
+	return m
+}
+
+// Negative correlation produces the equity skew: OTM puts gain value, OTM
+// calls lose it, relative to the symmetric case.
+func TestHestonSkewDirection(t *testing.T) {
+	base := HestonParams{V0: 0.04, Kappa: 1.5, ThetaV: 0.04, SigmaV: 0.5}
+	neg := base
+	neg.Rho = -0.7
+	pos := base
+	pos.Rho = +0.7
+	callNeg, err := HestonCallMC(100, 120, 1, neg, 1<<16, 64, 7, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callPos, err := HestonCallMC(100, 120, 1, pos, 1<<16, 64, 7, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if callNeg.Price >= callPos.Price {
+		t.Fatalf("OTM call: rho=-0.7 %g not below rho=+0.7 %g", callNeg.Price, callPos.Price)
+	}
+}
+
+// Martingale check: the discounted terminal asset mean equals spot (ATM
+// forward prices consistent).
+func TestHestonMartingale(t *testing.T) {
+	hp := HestonParams{V0: 0.04, Kappa: 2, ThetaV: 0.05, SigmaV: 0.3, Rho: -0.5}
+	if !hp.FellerSatisfied() {
+		t.Fatal("test parameters should satisfy Feller")
+	}
+	// Deep ITM call ~ forward - strike: C ~ S - K e^{-rT} for K tiny.
+	got, err := HestonCallMC(100, 1, 1, hp, 1<<16, 64, 11, mkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 - 1*math.Exp(-mkt.R)
+	if math.Abs(got.Price-want) > 4*got.StdErr+0.1 {
+		t.Fatalf("deep ITM Heston %g +- %g vs forward parity %g", got.Price, got.StdErr, want)
+	}
+}
+
+func TestHestonValidation(t *testing.T) {
+	if _, err := HestonCallMC(100, 100, 1, HestonParams{Rho: 2}, 10, 4, 1, mkt); err != ErrHeston {
+		t.Fatal("rho > 1 accepted")
+	}
+	if _, err := HestonCallMC(100, 100, 1, HestonParams{V0: -1}, 10, 4, 1, mkt); err != ErrHeston {
+		t.Fatal("negative V0 accepted")
+	}
+	if _, err := HestonCallMC(100, 100, 1, HestonParams{}, 0, 4, 1, mkt); err == nil {
+		t.Fatal("zero paths accepted")
+	}
+	if !((HestonParams{Kappa: 2, ThetaV: 0.04, SigmaV: 0.3}).FellerSatisfied()) {
+		t.Fatal("Feller check wrong")
+	}
+	if (HestonParams{Kappa: 0.1, ThetaV: 0.01, SigmaV: 1}).FellerSatisfied() {
+		t.Fatal("Feller should fail")
+	}
+}
+
+func TestHestonEffectiveVolKappaZero(t *testing.T) {
+	hp := HestonParams{V0: 0.09}
+	if math.Abs(HestonEffectiveVol(hp, 2)-0.3) > 1e-12 {
+		t.Fatal("kappa=0 effective vol should be sqrt(V0)")
+	}
+}
+
+func BenchmarkHestonMC(b *testing.B) {
+	hp := HestonParams{V0: 0.04, Kappa: 2, ThetaV: 0.05, SigmaV: 0.3, Rho: -0.5}
+	for i := 0; i < b.N; i++ {
+		HestonCallMC(100, 100, 1, hp, 4096, 32, 1, mkt)
+	}
+}
+
+func BenchmarkMertonMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MertonCallMC(100, 100, 1, jp, 1<<14, 1, mkt)
+	}
+}

@@ -1,0 +1,120 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"finbench/internal/blackscholes"
+)
+
+func TestQMCEuropeanMatchesClosedForm(t *testing.T) {
+	bs, _ := blackscholes.PriceScalar(100, 100, 1, mkt)
+	res := QMCEuropean(100, 100, 1, 1<<14, 1, 7, mkt)
+	if math.Abs(res.Price-bs) > 0.01 {
+		t.Fatalf("QMC %g vs BS %g", res.Price, bs)
+	}
+}
+
+// QMC must converge markedly faster than MC at the same budget: compare
+// absolute errors against the closed form.
+func TestQMCEuropeanBeatsMC(t *testing.T) {
+	const n = 1 << 13
+	bs, _ := blackscholes.PriceScalar(100, 105, 0.75, mkt)
+	qmc := QMCEuropean(100, 105, 0.75, n, 1, 7, mkt)
+	qmcErr := math.Abs(qmc.Price - bs)
+
+	var mcErr float64
+	const trials = 5
+	for trial := uint64(0); trial < trials; trial++ {
+		z := normals(n, 100+trial)
+		res := PriceScalarStream(100, 105, 0.75, z, mkt)
+		mcErr += math.Abs(res.Price - bs)
+	}
+	mcErr /= trials
+	if qmcErr > mcErr/2 {
+		t.Fatalf("QMC err %g not clearly below MC err %g", qmcErr, mcErr)
+	}
+}
+
+func TestQMCEuropeanShiftStdErr(t *testing.T) {
+	res := QMCEuropean(100, 100, 1, 4096, 8, 11, mkt)
+	if res.StdErr <= 0 {
+		t.Fatal("randomized QMC must report a spread")
+	}
+	bs, _ := blackscholes.PriceScalar(100, 100, 1, mkt)
+	if math.Abs(res.Price-bs) > 6*res.StdErr+1e-3 {
+		t.Fatalf("QMC %g +- %g vs BS %g", res.Price, res.StdErr, bs)
+	}
+}
+
+var asian = AsianOption{S: 100, X: 100, T: 1, Steps: 32}
+
+// MC and QMC must agree on the Asian price within their joint error.
+func TestAsianMCAndQMCAgree(t *testing.T) {
+	mc := AsianMC(asian, 1<<16, 3, mkt)
+	qmc := AsianQMC(asian, 1<<12, 4, 5, mkt)
+	tol := 4*(mc.StdErr+qmc.StdErr) + 1e-3
+	if math.Abs(mc.Price-qmc.Price) > tol {
+		t.Fatalf("MC %g +- %g vs QMC %g +- %g", mc.Price, mc.StdErr, qmc.Price, qmc.StdErr)
+	}
+}
+
+// Sanity bounds: the arithmetic Asian call is worth less than the European
+// call (averaging reduces volatility) and more than zero for ATM.
+func TestAsianBounds(t *testing.T) {
+	mc := AsianMC(asian, 1<<15, 9, mkt)
+	euro, _ := blackscholes.PriceScalar(asian.S, asian.X, asian.T, mkt)
+	if mc.Price <= 0 {
+		t.Fatalf("ATM Asian call priced at %g", mc.Price)
+	}
+	if mc.Price >= euro {
+		t.Fatalf("Asian %g not below European %g", mc.Price, euro)
+	}
+}
+
+// The bridge+Sobol pairing must reduce error versus plain MC for the
+// path-dependent payoff at matched path counts.
+func TestAsianQMCBeatsMC(t *testing.T) {
+	const n = 1 << 12
+	// Reference price from a large MC run.
+	ref := AsianMC(asian, 1<<18, 21, mkt)
+
+	qmc := AsianQMC(asian, n, 4, 31, mkt)
+	qmcErr := math.Abs(qmc.Price - ref.Price)
+
+	var mcErr float64
+	const trials = 5
+	for trial := uint64(0); trial < trials; trial++ {
+		mc := AsianMC(asian, n, 40+trial, mkt)
+		mcErr += math.Abs(mc.Price - ref.Price)
+	}
+	mcErr /= trials
+	if qmcErr > mcErr {
+		t.Fatalf("Asian QMC err %g not below MC err %g", qmcErr, mcErr)
+	}
+}
+
+func TestAsianDeterministicBySeed(t *testing.T) {
+	a := AsianMC(asian, 4096, 5, mkt)
+	b := AsianMC(asian, 4096, 5, mkt)
+	if a.Price != b.Price {
+		t.Fatal("AsianMC not reproducible")
+	}
+	c := AsianQMC(asian, 1024, 2, 5, mkt)
+	d := AsianQMC(asian, 1024, 2, 5, mkt)
+	if c.Price != d.Price {
+		t.Fatal("AsianQMC not reproducible")
+	}
+}
+
+func BenchmarkAsianMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		AsianMC(asian, 4096, 1, mkt)
+	}
+}
+
+func BenchmarkAsianQMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		AsianQMC(asian, 2048, 2, 1, mkt)
+	}
+}

@@ -1,0 +1,173 @@
+// Package parallel provides the OpenMP-style loop parallelism the paper's
+// kernels use ("#pragma omp for thread-level parallelism", Sec. III-B).
+// All six benchmarks parallelize across independent work items (options,
+// paths, simulations), so a parallel-for with static or dynamic chunking
+// plus a tree-free reduction covers every need.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the worker count used by For: GOMAXPROCS, the Go
+// analogue of OMP_NUM_THREADS.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs fn over [0,n) split into one contiguous chunk per worker
+// (OpenMP schedule(static)). fn is called with disjoint [lo,hi) ranges
+// from multiple goroutines; For returns when all complete. A nil fn or
+// n <= 0 is a no-op.
+func For(n int, fn func(lo, hi int)) {
+	ForWorkers(n, Workers(), fn)
+}
+
+// ForWorkers is For with an explicit worker count (used to model a given
+// thread count, and by tests).
+func ForWorkers(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 || fn == nil {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForDynamic runs fn over [0,n) in grain-sized chunks handed out from a
+// shared counter (OpenMP schedule(dynamic, grain)); use it when per-item
+// cost is irregular, e.g. PSOR solves whose iteration counts vary by
+// option.
+func ForDynamic(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 || fn == nil {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	workers := Workers()
+	if workers*grain > n {
+		workers = (n + grain - 1) / grain
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForIndexed runs fn once per worker with (worker, lo, hi), for kernels
+// that need per-worker scratch state such as an RNG stream per thread.
+// It uses static chunking; worker ids are dense in [0, workers).
+func ForIndexed(n int, fn func(worker, lo, hi int)) {
+	workers := Workers()
+	if n <= 0 || fn == nil {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	id := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(id, lo, hi int) {
+			defer wg.Done()
+			fn(id, lo, hi)
+		}(id, lo, hi)
+		id++
+	}
+	wg.Wait()
+}
+
+// ReduceFloat64 computes the sum of fn over per-worker ranges: each worker
+// returns a partial value for its [lo,hi) range, and the partials are
+// summed in worker order, keeping the result deterministic for a fixed
+// worker count.
+func ReduceFloat64(n int, fn func(lo, hi int) float64) float64 {
+	workers := Workers()
+	if n <= 0 || fn == nil {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	nchunks := (n + chunk - 1) / chunk
+	// Pad partial slots to separate cache lines to avoid false sharing.
+	const pad = 8
+	partials := make([]float64, nchunks*pad)
+	var wg sync.WaitGroup
+	i := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			partials[i*pad] = fn(lo, hi)
+		}(i, lo, hi)
+		i++
+	}
+	wg.Wait()
+	var sum float64
+	for k := 0; k < i; k++ {
+		sum += partials[k*pad]
+	}
+	return sum
+}

@@ -1,0 +1,212 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// coverage records which indices fn visited and detects overlap.
+func coverage(t *testing.T, n int, launch func(fn func(lo, hi int))) {
+	t.Helper()
+	visits := make([]int32, n)
+	launch(func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad range [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&visits[i], 1)
+		}
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestForCoversExactlyOnce(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 1000, 1001} {
+		coverage(t, n, func(fn func(lo, hi int)) { For(n, fn) })
+	}
+}
+
+func TestForWorkersCoversExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 16, 100} {
+		coverage(t, 97, func(fn func(lo, hi int)) { ForWorkers(97, w, fn) })
+	}
+}
+
+func TestForDynamicCoversExactlyOnce(t *testing.T) {
+	for _, grain := range []int{1, 3, 10, 97, 200} {
+		coverage(t, 97, func(fn func(lo, hi int)) { ForDynamic(97, grain, fn) })
+	}
+}
+
+func TestForDynamicZeroGrain(t *testing.T) {
+	coverage(t, 10, func(fn func(lo, hi int)) { ForDynamic(10, 0, fn) })
+}
+
+func TestForIndexedCoversExactlyOnce(t *testing.T) {
+	coverage(t, 131, func(fn func(lo, hi int)) {
+		ForIndexed(131, func(_, lo, hi int) { fn(lo, hi) })
+	})
+}
+
+func TestForIndexedWorkerIdsDense(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	ForIndexed(1000, func(worker, lo, hi int) {
+		mu.Lock()
+		if seen[worker] {
+			mu.Unlock()
+			t.Errorf("worker id %d reused", worker)
+			return
+		}
+		seen[worker] = true
+		mu.Unlock()
+	})
+	if len(seen) == 0 {
+		t.Fatal("no workers ran")
+	}
+	for id := range seen {
+		if id < 0 || id >= len(seen) {
+			t.Fatalf("worker id %d not dense in [0,%d)", id, len(seen))
+		}
+	}
+}
+
+func TestForEdgeCases(t *testing.T) {
+	For(0, func(lo, hi int) { t.Error("called for n=0") })
+	For(-5, func(lo, hi int) { t.Error("called for n<0") })
+	For(10, nil) // must not panic
+	ForDynamic(0, 4, func(lo, hi int) { t.Error("called for n=0") })
+	ForIndexed(0, func(w, lo, hi int) { t.Error("called for n=0") })
+}
+
+func TestReduceFloat64Sum(t *testing.T) {
+	// Sum of 1..n.
+	n := 100000
+	got := ReduceFloat64(n, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += float64(i + 1)
+		}
+		return s
+	})
+	want := float64(n) * float64(n+1) / 2
+	if got != want {
+		t.Fatalf("ReduceFloat64 = %g, want %g", got, want)
+	}
+}
+
+func TestReduceFloat64Empty(t *testing.T) {
+	if got := ReduceFloat64(0, func(lo, hi int) float64 { return 1 }); got != 0 {
+		t.Fatalf("empty reduce = %g", got)
+	}
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	// Partial sums are combined in index order, so repeated runs agree
+	// bit-for-bit.
+	f := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += 1.0 / float64(i+1)
+		}
+		return s
+	}
+	a := ReduceFloat64(12345, f)
+	for r := 0; r < 5; r++ {
+		if b := ReduceFloat64(12345, f); b != a {
+			t.Fatalf("nondeterministic reduce: %g != %g", b, a)
+		}
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatal("Workers < 1")
+	}
+}
+
+// Property: For visits each index exactly once for arbitrary n.
+func TestForCoverageQuick(t *testing.T) {
+	f := func(nn uint16) bool {
+		n := int(nn)%2000 + 1
+		visits := make([]int32, n)
+		For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for _, v := range visits {
+			if v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// withProcs temporarily raises GOMAXPROCS so the multi-worker paths run
+// even on single-core machines (goroutines interleave regardless).
+func withProcs(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+func TestForDynamicMultiWorker(t *testing.T) {
+	withProcs(t, 4, func() {
+		coverage(t, 1000, func(fn func(lo, hi int)) { ForDynamic(1000, 7, fn) })
+		coverage(t, 10, func(fn func(lo, hi int)) { ForDynamic(10, 3, fn) })
+	})
+}
+
+func TestForIndexedMultiWorker(t *testing.T) {
+	withProcs(t, 4, func() {
+		coverage(t, 1000, func(fn func(lo, hi int)) {
+			ForIndexed(1000, func(_, lo, hi int) { fn(lo, hi) })
+		})
+		var mu sync.Mutex
+		ids := map[int]bool{}
+		ForIndexed(1000, func(worker, lo, hi int) {
+			mu.Lock()
+			ids[worker] = true
+			mu.Unlock()
+		})
+		if len(ids) < 2 {
+			t.Fatalf("expected multiple workers, got %d", len(ids))
+		}
+	})
+}
+
+func TestReduceFloat64MultiWorker(t *testing.T) {
+	withProcs(t, 4, func() {
+		n := 100000
+		got := ReduceFloat64(n, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += float64(i + 1)
+			}
+			return s
+		})
+		want := float64(n) * float64(n+1) / 2
+		if got != want {
+			t.Fatalf("multi-worker reduce = %g, want %g", got, want)
+		}
+	})
+}
+
+func TestForMultiWorker(t *testing.T) {
+	withProcs(t, 8, func() {
+		coverage(t, 999, func(fn func(lo, hi int)) { For(999, fn) })
+	})
+}

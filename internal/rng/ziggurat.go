@@ -1,0 +1,97 @@
+package rng
+
+import (
+	"math"
+
+	"finbench/internal/perf"
+)
+
+// Marsaglia-Tsang ziggurat for the standard normal distribution, 128
+// layers. Tables are computed at package init from the layer recurrence
+// rather than embedded, so the construction itself is testable.
+//
+// The ziggurat is the fastest scalar normal generator but relies on
+// rejection branches, which is why the paper's SIMD pipelines use the
+// branch-free ICDF transform instead; it is included here as the scalar
+// baseline for the RNG ablation benchmarks.
+
+const zigLayers = 128
+
+// zigX[0] is the pseudo-width q = v/f(r) of the base strip; zigX[1] = r;
+// zigX[i] decreases to zigX[zigLayers] = 0. zigY[i] = f(zigX[i]) with
+// f(x) = exp(-x^2/2). zigR[i] = zigX[i+1]/zigX[i] is the fast-accept
+// ratio of layer i (zigR[0] = r/q for the tail layer).
+var (
+	zigX [zigLayers + 1]float64
+	zigY [zigLayers + 1]float64
+	zigR [zigLayers]float64
+)
+
+// normalPDFUnscaled is exp(-x^2/2) (normalization folds into the tables).
+func normalPDFUnscaled(x float64) float64 { return math.Exp(-0.5 * x * x) }
+
+func init() {
+	// Classic constants for the 128-layer normal ziggurat: rightmost layer
+	// boundary r and per-strip area v.
+	const (
+		r = 3.442619855899
+		v = 9.91256303526217e-3
+	)
+	zigX[0] = v / normalPDFUnscaled(r) // base strip pseudo-width q > r
+	zigX[1] = r
+	for i := 2; i < zigLayers; i++ {
+		prev := zigX[i-1]
+		zigX[i] = math.Sqrt(-2 * math.Log(v/prev+normalPDFUnscaled(prev)))
+	}
+	zigX[zigLayers] = 0
+	for i := 0; i <= zigLayers; i++ {
+		zigY[i] = normalPDFUnscaled(zigX[i])
+	}
+	for i := 0; i < zigLayers; i++ {
+		zigR[i] = zigX[i+1] / zigX[i]
+	}
+}
+
+// NormalZiggurat fills dst with standard normals using the ziggurat method.
+func (s *Stream) NormalZiggurat(dst []float64) {
+	for i := range dst {
+		dst[i] = s.zigguratOne()
+	}
+}
+
+func (s *Stream) zigguratOne() float64 {
+	for {
+		s.countRNG(2)
+		layer := int(s.mt.Uint32() & (zigLayers - 1))
+		// Signed uniform in (-1, 1).
+		f := 2*s.mt.Float64OO() - 1
+		x := f * zigX[layer]
+		if math.Abs(f) < zigR[layer] {
+			return x // fast path: strictly inside layer `layer`
+		}
+		if layer == 0 {
+			// Tail beyond r: Marsaglia's exact tail algorithm.
+			r := zigX[1]
+			for {
+				s.countRNG(2)
+				s.count(perf.OpLog, 2)
+				xx := -math.Log(s.mt.Float64OO()) / r
+				yy := -math.Log(s.mt.Float64OO())
+				if 2*yy > xx*xx {
+					if f < 0 {
+						return -(r + xx)
+					}
+					return r + xx
+				}
+			}
+		}
+		// Wedge: accept against the true density.
+		s.countRNG(1)
+		s.count(perf.OpExp, 1)
+		y := s.mt.Float64OO()
+		ax := math.Abs(x)
+		if zigY[layer]+y*(zigY[layer+1]-zigY[layer]) < normalPDFUnscaled(ax) {
+			return x
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package sobol implements Sobol low-discrepancy sequences with
+// Gray-code generation and random digital shifts, the quasi-Monte Carlo
+// companion to the Brownian bridge (Glasserman ch. 5, which the paper
+// cites as the source of its bridge kernel: the bridge orders path
+// dimensions by variance contribution exactly so that low-discrepancy
+// points can exploit the low effective dimension).
+//
+// Direction numbers need one primitive polynomial over GF(2) per
+// dimension. Rather than embedding an opaque table, this package computes
+// the polynomials: candidates are enumerated in increasing (degree, value)
+// order — the same ordering the canonical Joe-Kuo tables use — and tested
+// for primitivity via the multiplicative order of x in GF(2)[x]/(p).
+// Initial direction values for the first dimensions follow the classical
+// Joe-Kuo table; later dimensions draw valid odd initial values from a
+// deterministic seeded generator (documented substitution: quality-tuned
+// tables are not reproducible from the paper, and any odd m_i < 2^i
+// yields a valid digital net — see DESIGN.md).
+package sobol
+
+// gf2Mulmod returns (a*b) mod p over GF(2), where p has degree deg (bit
+// deg set). Operands are bit-packed polynomials.
+func gf2Mulmod(a, b, p uint64, deg uint) uint64 {
+	var r uint64
+	top := uint64(1) << deg
+	for b != 0 {
+		if b&1 != 0 {
+			r ^= a
+		}
+		b >>= 1
+		a <<= 1
+		if a&top != 0 {
+			a ^= p
+		}
+	}
+	return r
+}
+
+// gf2Powmod returns x^e mod p over GF(2).
+func gf2Powmod(e uint64, p uint64, deg uint) uint64 {
+	result := uint64(1)
+	base := uint64(2) // the polynomial x
+	for e > 0 {
+		if e&1 != 0 {
+			result = gf2Mulmod(result, base, p, deg)
+		}
+		base = gf2Mulmod(base, base, p, deg)
+		e >>= 1
+	}
+	return result
+}
+
+// primeFactors returns the distinct prime factors of n by trial division
+// (n <= 2^25-1 here, trivial).
+func primeFactors(n uint64) []uint64 {
+	var fs []uint64
+	for f := uint64(2); f*f <= n; f++ {
+		if n%f == 0 {
+			fs = append(fs, f)
+			for n%f == 0 {
+				n /= f
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// isPrimitive reports whether the degree-deg polynomial p (bit-packed,
+// with both the leading and constant terms set) is primitive over GF(2):
+// x must have multiplicative order exactly 2^deg - 1 in GF(2)[x]/(p).
+func isPrimitive(p uint64, deg uint) bool {
+	if deg == 0 || p&1 == 0 { // constant term required
+		return false
+	}
+	order := (uint64(1) << deg) - 1
+	if gf2Powmod(order, p, deg) != 1 {
+		return false
+	}
+	for _, q := range primeFactors(order) {
+		if gf2Powmod(order/q, p, deg) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// primitivePolynomials returns the first n primitive polynomials over
+// GF(2) in increasing (degree, value) order, excluding degree 0. Each is
+// bit-packed with the leading bit set (e.g. x^3+x+1 = 0b1011).
+func primitivePolynomials(n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for deg := uint(1); len(out) < n; deg++ {
+		lo := uint64(1) << deg
+		hi := lo << 1
+		for p := lo + 1; p < hi && len(out) < n; p += 2 {
+			if isPrimitive(p, deg) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// polyDegree returns the degree of a bit-packed polynomial.
+func polyDegree(p uint64) uint {
+	d := uint(0)
+	for p > 1 {
+		p >>= 1
+		d++
+	}
+	return d
+}

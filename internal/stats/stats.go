@@ -1,0 +1,233 @@
+// Package stats provides the summary statistics and distributional tests
+// the benchmark's validation and risk examples rely on: streaming moments,
+// quantiles, histogram counts, and a Kolmogorov-Smirnov test against the
+// standard normal (used to validate the RNG transforms and the simulated
+// path distributions).
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"finbench/internal/mathx"
+)
+
+// Moments accumulates count, mean and central moments in one pass using
+// the numerically stable Welford/Chan update (no catastrophic cancellation
+// for large n).
+type Moments struct {
+	n              float64
+	mean           float64
+	m2, m3, m4     float64
+	minVal, maxVal float64
+}
+
+// NewMoments returns an empty accumulator.
+func NewMoments() *Moments {
+	return &Moments{minVal: math.Inf(1), maxVal: math.Inf(-1)}
+}
+
+// Add accumulates one observation.
+func (m *Moments) Add(x float64) {
+	n1 := m.n
+	m.n++
+	delta := x - m.mean
+	deltaN := delta / m.n
+	deltaN2 := deltaN * deltaN
+	term1 := delta * deltaN * n1
+	m.mean += deltaN
+	m.m4 += term1*deltaN2*(m.n*m.n-3*m.n+3) + 6*deltaN2*m.m2 - 4*deltaN*m.m3
+	m.m3 += term1*deltaN*(m.n-2) - 3*deltaN*m.m2
+	m.m2 += term1
+	if x < m.minVal {
+		m.minVal = x
+	}
+	if x > m.maxVal {
+		m.maxVal = x
+	}
+}
+
+// AddAll accumulates a slice.
+func (m *Moments) AddAll(xs []float64) {
+	for _, x := range xs {
+		m.Add(x)
+	}
+}
+
+// N returns the observation count.
+func (m *Moments) N() float64 { return m.n }
+
+// Mean returns the sample mean.
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the population variance (n denominator).
+func (m *Moments) Variance() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.m2 / m.n
+}
+
+// SampleVariance returns the unbiased (n-1) variance.
+func (m *Moments) SampleVariance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / (m.n - 1)
+}
+
+// StdDev returns the population standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Skewness returns the standardized third moment.
+func (m *Moments) Skewness() float64 {
+	if m.m2 == 0 {
+		return 0
+	}
+	return math.Sqrt(m.n) * m.m3 / math.Pow(m.m2, 1.5)
+}
+
+// Kurtosis returns the standardized fourth moment (3 for a normal).
+func (m *Moments) Kurtosis() float64 {
+	if m.m2 == 0 {
+		return 0
+	}
+	return m.n * m.m4 / (m.m2 * m.m2)
+}
+
+// Min and Max return the extremes.
+func (m *Moments) Min() float64 { return m.minVal }
+
+// Max returns the largest observation.
+func (m *Moments) Max() float64 { return m.maxVal }
+
+// StdErr returns the standard error of the mean.
+func (m *Moments) StdErr() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return math.Sqrt(m.SampleVariance() / m.n)
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// xs is not modified.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, p)
+}
+
+// Quantiles returns several quantiles with one sort.
+func Quantiles(xs []float64, ps []float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, p := range ps {
+		out[i] = quantileSorted(s, p)
+	}
+	return out
+}
+
+func quantileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	h := p * float64(len(s)-1)
+	lo := int(h)
+	frac := h - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// KSNormal returns the Kolmogorov-Smirnov statistic of xs against the
+// standard normal distribution: sup |F_n(x) - Phi(x)|. For samples drawn
+// from N(0,1) the statistic is ~0.5/sqrt(n) in expectation; values above
+// ~1.6/sqrt(n) reject at the 1% level.
+func KSNormal(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var d float64
+	for i, x := range s {
+		cdf := mathx.CND(x)
+		lo := float64(i)/float64(n) - cdf
+		hi := cdf - float64(i+1)/float64(n)
+		if lo < 0 {
+			lo = -lo
+		}
+		if hi < 0 {
+			hi = -hi
+		}
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// KSUniform returns the KS statistic of xs against U(0,1).
+func KSUniform(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var d float64
+	for i, x := range s {
+		lo := math.Abs(float64(i)/float64(n) - x)
+		hi := math.Abs(x - float64(i+1)/float64(n))
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs.
+func Autocorrelation(xs []float64, k int) float64 {
+	n := len(xs)
+	if k <= 0 || k >= n {
+		return math.NaN()
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n-k; i++ {
+		num += (xs[i] - mean) * (xs[i+k] - mean)
+	}
+	for _, x := range xs {
+		den += (x - mean) * (x - mean)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"finbench/internal/rng"
+)
+
+func TestMomentsKnownValues(t *testing.T) {
+	m := NewMoments()
+	m.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m.N() != 8 {
+		t.Fatalf("n = %g", m.N())
+	}
+	if math.Abs(m.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %g", m.Mean())
+	}
+	if math.Abs(m.Variance()-4) > 1e-12 {
+		t.Fatalf("variance = %g", m.Variance())
+	}
+	if math.Abs(m.StdDev()-2) > 1e-12 {
+		t.Fatalf("stddev = %g", m.StdDev())
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", m.Min(), m.Max())
+	}
+}
+
+func TestMomentsNormalSample(t *testing.T) {
+	s := rng.NewStream(0, 42)
+	buf := make([]float64, 200000)
+	s.NormalICDF(buf)
+	m := NewMoments()
+	m.AddAll(buf)
+	if math.Abs(m.Mean()) > 0.01 {
+		t.Fatalf("mean = %g", m.Mean())
+	}
+	if math.Abs(m.Variance()-1) > 0.02 {
+		t.Fatalf("variance = %g", m.Variance())
+	}
+	if math.Abs(m.Skewness()) > 0.03 {
+		t.Fatalf("skewness = %g", m.Skewness())
+	}
+	if math.Abs(m.Kurtosis()-3) > 0.1 {
+		t.Fatalf("kurtosis = %g", m.Kurtosis())
+	}
+	if m.StdErr() <= 0 || m.StdErr() > 0.01 {
+		t.Fatalf("stderr = %g", m.StdErr())
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	m := NewMoments()
+	if m.Variance() != 0 || m.SampleVariance() != 0 || m.StdErr() != 0 {
+		t.Fatal("empty accumulator should return zeros")
+	}
+}
+
+// Property: Welford mean/variance match the two-pass formulas.
+func TestMomentsMatchTwoPassQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		m := NewMoments()
+		m.AddAll(xs)
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(len(xs))
+		scale := math.Max(1, math.Abs(mean))
+		return math.Abs(m.Mean()-mean) < 1e-9*scale && math.Abs(m.Variance()-v) < 1e-6*math.Max(1, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Fatalf("median = %g", Quantile(xs, 0.5))
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %g", got)
+	}
+	// Interpolated case.
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Fatalf("interpolated median = %g", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	qs := Quantiles(xs, []float64{0, 0.5, 1})
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Fatalf("quantiles = %v", qs)
+	}
+	for _, q := range Quantiles(nil, []float64{0.5}) {
+		if !math.IsNaN(q) {
+			t.Fatal("empty quantiles not NaN")
+		}
+	}
+}
+
+func TestKSNormalAcceptsNormal(t *testing.T) {
+	s := rng.NewStream(1, 7)
+	buf := make([]float64, 50000)
+	s.NormalICDF(buf)
+	d := KSNormal(buf)
+	if d > 1.6/math.Sqrt(50000) {
+		t.Fatalf("KS = %g rejects true normals", d)
+	}
+}
+
+func TestKSNormalRejectsUniform(t *testing.T) {
+	s := rng.NewStream(1, 7)
+	buf := make([]float64, 10000)
+	s.Uniform(buf)
+	if d := KSNormal(buf); d < 0.1 {
+		t.Fatalf("KS = %g fails to reject uniforms", d)
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	s := rng.NewStream(2, 9)
+	buf := make([]float64, 50000)
+	s.Uniform(buf)
+	if d := KSUniform(buf); d > 1.6/math.Sqrt(50000) {
+		t.Fatalf("KS = %g rejects true uniforms", d)
+	}
+	norm := make([]float64, 10000)
+	s.NormalICDF(norm)
+	if d := KSUniform(norm); d < 0.1 {
+		t.Fatalf("KS = %g fails to reject normals", d)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if KSNormal(nil) != 0 || KSUniform(nil) != 0 {
+		t.Fatal("empty KS not zero")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A perfectly alternating sequence has lag-1 autocorrelation ~ -1.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	if ac := Autocorrelation(xs, 1); ac > -0.99 {
+		t.Fatalf("alternating lag-1 AC = %g", ac)
+	}
+	// IID draws have near-zero lag-1 autocorrelation.
+	s := rng.NewStream(3, 11)
+	buf := make([]float64, 100000)
+	s.Uniform(buf)
+	if ac := Autocorrelation(buf, 1); math.Abs(ac) > 0.02 {
+		t.Fatalf("iid lag-1 AC = %g", ac)
+	}
+	if !math.IsNaN(Autocorrelation(xs, 0)) || !math.IsNaN(Autocorrelation(xs, 1000)) {
+		t.Fatal("invalid lags not NaN")
+	}
+}

@@ -1,0 +1,150 @@
+package finbench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"finbench/internal/machine"
+)
+
+// MachineInfo summarizes one modelled architecture for API consumers.
+type MachineInfo struct {
+	// Name is the short identifier ("SNB-EP", "KNC").
+	Name string
+	// FullName is the marketing name.
+	FullName string
+	// Cores and Threads are totals across sockets.
+	Cores, Threads int
+	// ClockGHz, SIMDWidthDP, PeakDPGFLOPs and StreamBW mirror Table I.
+	ClockGHz     float64
+	SIMDWidthDP  int
+	PeakDPGFLOPs float64
+	StreamBW     float64
+}
+
+// Machines lists the two architectures the paper studies.
+func Machines() []MachineInfo {
+	var out []MachineInfo
+	for _, m := range machine.Machines() {
+		out = append(out, MachineInfo{
+			Name:         m.Name,
+			FullName:     m.FullName,
+			Cores:        m.Cores(),
+			Threads:      m.Threads(),
+			ClockGHz:     m.ClockGHz,
+			SIMDWidthDP:  m.SIMDWidthDP,
+			PeakDPGFLOPs: m.PeakDPGFLOPs,
+			StreamBW:     m.StreamBW,
+		})
+	}
+	return out
+}
+
+// Prediction is the modelled execution of an operation mix on one machine.
+type Prediction struct {
+	// Machine names the architecture.
+	Machine string
+	// Seconds is the predicted wall time; ItemsPerSec the throughput.
+	Seconds, ItemsPerSec float64
+	// Bound is "compute" or "bandwidth".
+	Bound string
+	// GFLOPs is the achieved flop rate.
+	GFLOPs float64
+}
+
+// PredictThroughput models the given operation mix (from ProfileBatch or a
+// custom instrumented kernel) on the named machine ("SNB-EP" or "KNC").
+func PredictThroughput(mix OperationMix, machineName string) (Prediction, error) {
+	m := machine.ByName(machineName)
+	if m == nil {
+		return Prediction{}, fmt.Errorf("finbench: unknown machine %q (try SNB-EP or KNC)", machineName)
+	}
+	p := m.Predict(mix)
+	out := Prediction{
+		Machine: m.Name,
+		Seconds: p.Sec,
+		Bound:   p.Bound.String(),
+		GFLOPs:  p.GFLOPs,
+	}
+	if p.Sec > 0 {
+		out.ItemsPerSec = float64(mix.Items) / p.Sec
+	}
+	return out, nil
+}
+
+// Roofline renders an ASCII roofline chart for the named machine with the
+// given points plotted (label -> [arithmetic intensity flops/byte,
+// GFLOP/s]). The chart follows the classic log-log form: the bandwidth
+// diagonal meeting the flat compute peak.
+func Roofline(machineName string, points map[string][2]float64) (string, error) {
+	m := machine.ByName(machineName)
+	if m == nil {
+		return "", fmt.Errorf("finbench: unknown machine %q", machineName)
+	}
+	const width, height = 64, 16
+	// x: AI from 2^-2 to 2^8; y: GFLOP/s from peak/512 to peak*2, log2.
+	xMin, xMax := -2.0, 8.0
+	yMax := log2(m.PeakDPGFLOPs * 2)
+	yMin := yMax - 10
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(ai, gf float64, ch byte) {
+		if ai <= 0 || gf <= 0 {
+			return
+		}
+		x := int((log2(ai) - xMin) / (xMax - xMin) * float64(width-1))
+		y := int((yMax - log2(gf)) / (yMax - yMin) * float64(height-1))
+		if x < 0 || x >= width || y < 0 || y >= height {
+			return
+		}
+		grid[y][x] = ch
+	}
+	// Roof: min(AI*BW, peak).
+	for c := 0; c < width; c++ {
+		ai := exp2(xMin + float64(c)/float64(width-1)*(xMax-xMin))
+		roof := ai * m.StreamBW
+		if roof > m.PeakDPGFLOPs {
+			roof = m.PeakDPGFLOPs
+		}
+		plot(ai, roof, '-')
+	}
+	marks := []byte("ABCDEFGHIJKLMNOP")
+	var legend strings.Builder
+	i := 0
+	// Deterministic ordering of points.
+	var labels []string
+	for l := range points {
+		labels = append(labels, l)
+	}
+	sortStrings(labels)
+	for _, label := range labels {
+		pt := points[label]
+		ch := marks[i%len(marks)]
+		plot(pt[0], pt[1], ch)
+		fmt.Fprintf(&legend, "  %c: %s (AI=%.2g, %.3g GFLOP/s)\n", ch, label, pt[0], pt[1])
+		i++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s roofline (log-log; peak %.0f GFLOP/s, STREAM %.0f GB/s)\n",
+		m.Name, m.PeakDPGFLOPs, m.StreamBW)
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "AI: 2^%.0f .. 2^%.0f flops/byte\n%s", xMin, xMax, legend.String())
+	return b.String(), nil
+}
+
+func log2(x float64) float64 { return math.Log2(x) }
+func exp2(x float64) float64 { return math.Exp2(x) }
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package finbench
+
+import (
+	"fmt"
+
+	"finbench/internal/brownian"
+	"finbench/internal/mathx"
+	"finbench/internal/rng"
+)
+
+// PathSimulator generates geometric-Brownian-motion price paths using the
+// Brownian-bridge construction (Sec. II-E / IV-C): the driving Wiener path
+// is built depth-first with interleaved random-number generation, then
+// mapped through S(t) = S0 exp((r - sigma^2/2) t + sigma W(t)).
+type PathSimulator struct {
+	// Steps per path; must be a power of two >= 2.
+	Steps int
+	// Horizon in years.
+	Horizon float64
+	// Seed makes simulation reproducible.
+	Seed uint64
+
+	bridge *brownian.Bridge
+}
+
+// NewPathSimulator builds a simulator for power-of-two steps (the bridge
+// doubles per level).
+func NewPathSimulator(steps int, horizon float64, seed uint64) (*PathSimulator, error) {
+	if steps < 2 || steps&(steps-1) != 0 {
+		return nil, fmt.Errorf("finbench: steps must be a power of two >= 2, got %d", steps)
+	}
+	depth := -1
+	for s := steps; s > 1; s >>= 1 {
+		depth++
+	}
+	return &PathSimulator{
+		Steps:   steps,
+		Horizon: horizon,
+		Seed:    seed,
+		bridge:  brownian.New(depth, horizon),
+	}, nil
+}
+
+// Simulate generates n price paths for the given spot under the market's
+// risk-neutral dynamics. The result has n rows of Steps+1 prices, starting
+// at spot.
+func (ps *PathSimulator) Simulate(n int, spot float64, m Market) [][]float64 {
+	plen := ps.bridge.PathLen()
+	flat := make([]float64, n*plen)
+	ps.bridge.AdvancedInterleaved(ps.Seed, flat, n, 8, nil)
+	mu := m.Rate - m.Volatility*m.Volatility/2
+	dt := ps.Horizon / float64(ps.Steps)
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		w := flat[i*plen : (i+1)*plen]
+		row := make([]float64, plen)
+		for p := 0; p < plen; p++ {
+			t := float64(p) * dt
+			row[p] = spot * mathx.Exp(mu*t+m.Volatility*w[p])
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// SimulateTerminal generates only the terminal prices of n paths —
+// sufficient for European payoffs and far cheaper.
+func (ps *PathSimulator) SimulateTerminal(n int, spot float64, m Market) []float64 {
+	z := make([]float64, n)
+	s := rng.NewStream(0, ps.Seed)
+	s.NormalICDF(z)
+	mu := (m.Rate - m.Volatility*m.Volatility/2) * ps.Horizon
+	sig := m.Volatility * mathx.Sqrt(ps.Horizon)
+	out := make([]float64, n)
+	for i, zi := range z {
+		out[i] = spot * mathx.Exp(mu+sig*zi)
+	}
+	return out
+}
