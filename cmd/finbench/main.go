@@ -57,7 +57,7 @@ func usage() {
 func roofline(args []string) {
 	fs := flag.NewFlagSet("roofline", flag.ExitOnError)
 	machineName := fs.String("machine", "", "SNB-EP, KNC, or empty for both")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits the process on bad flags
 
 	const n = 50000
 	b := finbench.NewBatch(n)
@@ -103,7 +103,7 @@ func report(args []string) {
 	out := fs.String("o", "report.md", "output file ('-' for stdout)")
 	scale := fs.Float64("scale", 1.0, "workload scale in (0,1]")
 	measure := fs.Bool("measure", false, "include host wall-clock tables")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits the process on bad flags
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "# finbench report\n\nWorkload scale %.2f. Model columns are predicted SNB-EP/KNC\nthroughput from measured operation mixes; see EXPERIMENTS.md for\nprovenance of the paper columns.\n\n", *scale)
@@ -151,7 +151,7 @@ func run(args []string) {
 	mode := fs.String("mode", "model", "model or measure")
 	scale := fs.Float64("scale", 1.0, "workload scale in (0,1]")
 	format := fs.String("format", "table", "table or csv")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits the process on bad flags
 
 	var exps []*bench.Experiment
 	if *expID == "all" {

@@ -1,0 +1,73 @@
+// Command finlint runs the repo's kernel-safety static analysis
+// (internal/lint) over package patterns and exits non-zero if any
+// invariant is violated.
+//
+// Usage:
+//
+//	finlint [-passes rngshare,hotalloc,...] [-list] [-v] [patterns ...]
+//
+// Patterns are directories or recursive patterns like ./... (the default).
+// Diagnostics print one per line as "file:line: [pass] message". Suppress
+// an individual finding with "// finlint:ignore <pass> <reason>" on or
+// directly above the flagged line; mark a package's loops hot (enabling
+// hotalloc) with "// finlint:hot".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"finbench/internal/lint"
+)
+
+func main() {
+	passList := flag.String("passes", "all", "comma-separated passes to run (or 'all')")
+	list := flag.Bool("list", false, "list available passes and exit")
+	verbose := flag.Bool("v", false, "also print loader/type-checker notes to stderr")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: finlint [flags] [patterns ...]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, p := range lint.Passes() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	passes, err := lint.SelectPasses(*passList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finlint:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, pkg := range pkgs {
+			fmt.Fprintf(os.Stderr, "finlint: loaded %s (%d files, %d type notes)\n", pkg.Path, len(pkg.Files), len(pkg.TypeErrors))
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "finlint: note: %v\n", e)
+			}
+		}
+	}
+
+	diags := lint.Run(pkgs, passes)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "finlint: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -62,7 +62,7 @@ func main() {
 		for _, t := range expiries {
 			var q quote
 			for _, c := range quotes {
-				if c.strike == k && c.expiry == t {
+				if c.strike == k && c.expiry == t { // finlint:ignore floateq quotes reuse the same grid literals; exact by construction
 					q = c
 				}
 			}

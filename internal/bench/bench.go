@@ -133,7 +133,7 @@ func ByID(id string) *Experiment {
 // human renders a throughput in engineering units.
 func human(v float64) string {
 	switch {
-	case v == 0:
+	case v == 0: // finlint:ignore floateq exact zero is the "absent" sentinel, never computed
 		return "-"
 	case v >= 1e9:
 		return fmt.Sprintf("%.3gG", v/1e9)
@@ -153,7 +153,7 @@ func (r *Result) Table() string {
 	fmt.Fprintf(&b, "%s — %s [%s]\n", r.ID, r.Title, r.Units)
 	hasHost := false
 	for _, row := range r.Rows {
-		if row.Host != 0 {
+		if row.Host != 0 { // finlint:ignore floateq exact zero is the "absent" sentinel, never computed
 			hasHost = true
 		}
 	}
@@ -174,7 +174,7 @@ func (r *Result) Table() string {
 	}
 	fmt.Fprintf(&b, " %9s\n", "prov")
 	ratio := func(model, paper float64) string {
-		if paper == 0 || model == 0 {
+		if paper == 0 || model == 0 { // finlint:ignore floateq exact zero is the "absent" sentinel, never computed
 			return "-"
 		}
 		return fmt.Sprintf("%.2f", model/paper)

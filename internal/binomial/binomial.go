@@ -18,7 +18,7 @@
 // results agree bitwise across variants (verified by tests). An American
 // put variant of the scalar reference exists for cross-validation against
 // Crank-Nicolson.
-package binomial
+package binomial // finlint:hot — allocation-free loops enforced by internal/lint
 
 import (
 	"sync"

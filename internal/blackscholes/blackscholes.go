@@ -14,7 +14,7 @@
 //
 // A pure-scalar reference (RefScalar) provides the correctness baseline
 // every optimized variant is tested against.
-package blackscholes
+package blackscholes // finlint:hot — allocation-free loops enforced by internal/lint
 
 import (
 	"sync"

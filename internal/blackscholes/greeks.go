@@ -65,8 +65,9 @@ func ImpliedVolCall(price, s, x, t, r float64) (float64, error) {
 	}
 	lo, hi := 1e-6, 4.0
 	sig := 0.3
+	mkt := workload.MarketParams{R: r}
 	for iter := 0; iter < 100; iter++ {
-		mkt := workload.MarketParams{R: r, Sigma: sig}
+		mkt.Sigma = sig
 		call, _ := PriceScalar(s, x, t, mkt)
 		diff := call - price
 		if math.Abs(diff) < 1e-12*math.Max(1, price) {

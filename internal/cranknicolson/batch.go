@@ -49,22 +49,24 @@ func Run(level Level, a layout.AOS, jpoints, nsteps, width int, mkt workload.Mar
 	n := a.Len()
 	var mu sync.Mutex
 	totalSweeps := 0
+	// The level dispatch is loop-invariant: resolve it to a solve function
+	// once, outside the per-option hot loop.
+	var solve func(s *Solver, c *perf.Counts) ([]float64, int)
+	switch level {
+	case LevelRef:
+		solve = func(s *Solver, c *perf.Counts) ([]float64, int) { return s.SolveScalar(c) }
+	case LevelIntermediate:
+		solve = func(s *Solver, c *perf.Counts) ([]float64, int) { return s.SolveWavefront(width, c) }
+	case LevelAdvanced:
+		solve = func(s *Solver, c *perf.Counts) ([]float64, int) { return s.SolveWavefrontSplit(width, c) }
+	default:
+		panic("cranknicolson: unknown level")
+	}
 	run := func(lo, hi int, c *perf.Counts) {
 		sweeps := 0
 		for i := lo; i < hi; i++ {
 			s := NewSolver(a.T(i), jpoints, nsteps, DefaultAlpha, mkt)
-			var u []float64
-			var sw int
-			switch level {
-			case LevelRef:
-				u, sw = s.SolveScalar(c)
-			case LevelIntermediate:
-				u, sw = s.SolveWavefront(width, c)
-			case LevelAdvanced:
-				u, sw = s.SolveWavefrontSplit(width, c)
-			default:
-				panic("cranknicolson: unknown level")
-			}
+			u, sw := solve(s, c)
 			sweeps += sw
 			a.SetResult(i, 0, s.Price(u, a.S(i), a.X(i)))
 		}

@@ -31,7 +31,7 @@
 //
 // Convergence is checked every `width` sweeps in the vector variants, as
 // the paper notes ("we now check for convergence every 4 or 8 iterations").
-package cranknicolson
+package cranknicolson // finlint:hot — allocation-free loops enforced by internal/lint
 
 import (
 	"finbench/internal/mathx"

@@ -68,10 +68,9 @@ func newSplitStorage(jmax int) *splitStorage {
 	s := &splitStorage{}
 	ne := jmax/2 + 1
 	no := (jmax + 1) / 2
-	for _, arr := range []*[2][]float64{&s.u, &s.b, &s.g} {
-		arr[0] = make([]float64, ne)
-		arr[1] = make([]float64, no)
-	}
+	s.u[0], s.u[1] = make([]float64, ne), make([]float64, no)
+	s.b[0], s.b[1] = make([]float64, ne), make([]float64, no)
+	s.g[0], s.g[1] = make([]float64, ne), make([]float64, no)
 	return s
 }
 

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// errcheckPass ("errcheck-lite") flags statement-level calls whose error
+// result is silently dropped. A benchmark harness that swallows an error
+// reports numbers for work that never ran. "Lite" scope: only bare
+// expression statements are flagged (not defer/go, and an explicit
+// `_ = f()` is treated as a deliberate, visible discard); fmt's Print
+// family and the never-failing bytes.Buffer / strings.Builder writers are
+// excluded.
+func errcheckPass() *Pass {
+	return &Pass{
+		Name: "errcheck",
+		Doc:  "dropped error result from a statement-level call",
+		Run:  runErrcheck,
+	}
+}
+
+func runErrcheck(p *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !callReturnsError(p, call) || errcheckExcluded(p, call) {
+				return true
+			}
+			report(call.Pos(), fmt.Sprintf(
+				"error result of %s is dropped; handle it, or discard explicitly with `_ = ...` and a reason", types.ExprString(call.Fun)))
+			return true
+		})
+	}
+}
+
+// callReturnsError reports whether any result of the call has type error.
+func callReturnsError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// errcheckExcluded filters callees whose dropped error is conventional:
+// fmt's printers and the guaranteed-nil-error in-memory writers.
+func errcheckExcluded(p *Package, call *ast.CallExpr) bool {
+	if pkgPath, _, ok := calleeStatic(p, call); ok {
+		return pkgPath == "fmt"
+	}
+	// Method call: exclude receivers *bytes.Buffer and *strings.Builder.
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "bytes" && name == "Buffer") || (pkg == "strings" && name == "Builder")
+}

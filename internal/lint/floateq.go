@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// floateqPass flags == and != between floating-point operands outside
+// *_test.go. Kernel outputs differ across variants only by rounding — the
+// whole validation story of the repo is ULP- and tolerance-based (and
+// Hofmann et al., arXiv:1604.01890, show reduction error grows with
+// problem size) — so exact float equality in production code is almost
+// always a latent bug. Sentinel comparisons (e.g. against a stored NaN or
+// an exact untouched zero) are legitimate but rare enough to annotate:
+// "// finlint:ignore floateq <reason>".
+func floateqPass() *Pass {
+	return &Pass{
+		Name: "floateq",
+		Doc:  "==/!= between floating-point operands outside tests",
+		Run:  runFloatEq,
+	}
+}
+
+func runFloatEq(p *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range p.Files {
+		// The loader already excludes _test.go, but the guard keeps the
+		// pass correct if a caller feeds it test files directly.
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if isFloatExpr(p, bin.X) || isFloatExpr(p, bin.Y) {
+				report(bin.Pos(), fmt.Sprintf(
+					"floating-point %s comparison; rounding makes exact equality unreliable — compare with a tolerance, or annotate finlint:ignore floateq with the invariant that makes it exact", bin.Op))
+			}
+			return true
+		})
+	}
+}
+
+func isFloatExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat,
+		types.Complex64, types.Complex128, types.UntypedComplex:
+		return true
+	}
+	return false
+}

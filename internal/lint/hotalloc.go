@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotallocPass flags allocation sources inside loops of packages tagged
+// "finlint:hot" (the six kernel packages). The paper's inner loops run at
+// a few elements per cycle; a single heap allocation or interface box per
+// iteration invokes the allocator and the write barrier, costing more than
+// the whole vector body. Checks are intraprocedural and syntactic over
+// loop bodies:
+//
+//   - composite literals (T{...}) — may escape and heap-allocate per trip;
+//   - make(...) — always allocates;
+//   - append to a variable captured from an enclosing function — grows a
+//     shared backing array inside the loop;
+//   - arguments implicitly converted to an interface parameter — boxing
+//     allocates for non-pointer values (fmt in a hot loop is the classic
+//     offender).
+//
+// Scratch buffers belong before the loop (per worker, not per iteration);
+// deliberate exceptions take "// finlint:ignore hotalloc <reason>".
+func hotallocPass() *Pass {
+	return &Pass{
+		Name: "hotalloc",
+		Doc:  "allocation (make/literal/append/interface-box) inside a hot-package loop",
+		Run:  runHotAlloc,
+	}
+}
+
+func runHotAlloc(p *Package, report func(pos token.Pos, msg string)) {
+	if !p.Hot {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &hotWalker{p: p, report: report, funcs: []ast.Node{fd}}
+			ast.Inspect(fd.Body, w.visit)
+		}
+	}
+}
+
+// hotWalker tracks the enclosing-function stack (for capture analysis) and
+// the loop nesting depth (allocations are flagged only at depth > 0).
+type hotWalker struct {
+	p      *Package
+	report func(pos token.Pos, msg string)
+	funcs  []ast.Node // enclosing functions, innermost last
+	depth  int        // enclosing loops within the innermost function
+}
+
+func (w *hotWalker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		// A closure body runs when called, not once per enclosing-loop
+		// trip; restart the loop depth but keep the stack for captures.
+		w.funcs = append(w.funcs, n)
+		saved := w.depth
+		w.depth = 0
+		ast.Inspect(n.Body, w.visit)
+		w.depth = saved
+		w.funcs = w.funcs[:len(w.funcs)-1]
+		return false
+	case *ast.ForStmt:
+		w.depth++
+		ast.Inspect(n.Body, w.visit)
+		w.depth--
+		return false
+	case *ast.RangeStmt:
+		w.depth++
+		ast.Inspect(n.Body, w.visit)
+		w.depth--
+		return false
+	}
+	if w.depth == 0 || n == nil {
+		return true
+	}
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		w.report(n.Pos(), fmt.Sprintf("composite literal %s inside a hot loop may heap-allocate per iteration; hoist it before the loop", typeLabel(w.p, n)))
+		return false // one report per outermost literal
+	case *ast.CallExpr:
+		if isBuiltin(w.p, n, "make") {
+			w.report(n.Pos(), "make inside a hot loop allocates per iteration; hoist the buffer before the loop and reslice")
+			return true
+		}
+		if isBuiltin(w.p, n, "append") && len(n.Args) > 0 {
+			if obj := w.capturedVar(n.Args[0]); obj != nil {
+				w.report(n.Pos(), fmt.Sprintf("append to captured slice %q inside a hot loop; growth reallocates a shared backing array — preallocate or keep the slice loop-local", obj.Name()))
+			}
+			return true
+		}
+		w.checkInterfaceArgs(n)
+	}
+	return true
+}
+
+// capturedVar returns the variable behind expr if it is declared outside
+// the innermost enclosing function (i.e. captured by a closure).
+func (w *hotWalker) capturedVar(expr ast.Expr) *types.Var {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := w.p.Info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if innermost := w.funcs[len(w.funcs)-1]; !withinNode(innermost, obj.Pos()) {
+		return obj
+	}
+	return nil
+}
+
+// checkInterfaceArgs flags call arguments whose static type is concrete
+// but whose parameter type is an interface: the implicit conversion boxes.
+func (w *hotWalker) checkInterfaceArgs(call *ast.CallExpr) {
+	tv, ok := w.p.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return // conversions T(x), not calls
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			paramType = slice.Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(paramType) {
+			continue
+		}
+		argTV, ok := w.p.Info.Types[arg]
+		if !ok || argTV.Type == nil {
+			continue
+		}
+		if types.IsInterface(argTV.Type.Underlying()) {
+			continue // interface-to-interface: no new box
+		}
+		if b, isBasic := argTV.Type.Underlying().(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+			continue
+		}
+		w.report(arg.Pos(), fmt.Sprintf("argument of type %s is boxed into interface %s inside a hot loop; move the call out of the loop or take a concrete type", argTV.Type, paramType))
+	}
+}
+
+func typeLabel(p *Package, lit *ast.CompositeLit) string {
+	if tv, ok := p.Info.Types[lit]; ok && tv.Type != nil {
+		return fmt.Sprintf("of type %s", tv.Type)
+	}
+	return "(unknown type)"
+}

@@ -1,0 +1,237 @@
+// Package lint implements finlint, the repo's custom static-analysis
+// suite. The paper's parallelization and vectorization contract (one RNG
+// stream per worker, allocation-free inner loops, deterministic seeding,
+// Sec. III-B) is easy to state in comments and easy to break in a PR;
+// finlint turns each invariant into a mechanical check over the module's
+// ASTs and type information, in the spirit of the code-modernization
+// tooling Cielo et al. (arXiv:2002.08161) apply to many-core codes.
+//
+// The suite is built only on the standard library (go/parser, go/ast,
+// go/types with the source importer); it deliberately avoids
+// golang.org/x/tools so the gate runs in a hermetic container.
+//
+// Each invariant is a Pass. Passes are individually toggleable from
+// cmd/finlint, emit "file:line: [pass] message" diagnostics, and honor two
+// source directives:
+//
+//	// finlint:ignore <pass> <reason>   suppress <pass> on this line and the next
+//	// finlint:hot                      mark the package's loops as hot paths
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, formatted as "file:line: [pass] message".
+type Diagnostic struct {
+	Pos  token.Position
+	Pass string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pass, d.Msg)
+}
+
+// Package is one loaded, type-checked package as seen by the passes.
+type Package struct {
+	// Path is the import path (or directory-derived pseudo-path for
+	// testdata packages outside the module build).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	Types *types.Package
+	// TypeErrors holds non-fatal type-checker complaints; passes run on
+	// whatever information survived, and cmd/finlint -v surfaces these.
+	TypeErrors []error
+
+	// Hot reports whether any file carries a "finlint:hot" directive,
+	// enabling the hotalloc pass.
+	Hot bool
+
+	// ignores maps filename -> line -> set of suppressed pass names
+	// ("all" suppresses every pass).
+	ignores map[string]map[int]map[string]bool
+}
+
+// A Pass checks one invariant over a package. Run reports findings via
+// report; suppression and formatting are handled by the driver.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(p *Package, report func(pos token.Pos, msg string))
+}
+
+// Passes returns the full suite in canonical order.
+func Passes() []*Pass {
+	return []*Pass{
+		rngsharePass(),
+		hotallocPass(),
+		floateqPass(),
+		seeddetPass(),
+		errcheckPass(),
+	}
+}
+
+// PassNames returns the canonical pass names, for usage text.
+func PassNames() []string {
+	all := Passes()
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// SelectPasses resolves a comma-separated list of pass names ("" or "all"
+// means every pass).
+func SelectPasses(list string) ([]*Pass, error) {
+	list = strings.TrimSpace(list)
+	if list == "" || list == "all" {
+		return Passes(), nil
+	}
+	byName := make(map[string]*Pass)
+	for _, p := range Passes() {
+		byName[p.Name] = p
+	}
+	var sel []*Pass
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		p, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown pass %q (have %s)", name, strings.Join(PassNames(), ", "))
+		}
+		sel = append(sel, p)
+	}
+	return sel, nil
+}
+
+// Run executes the given passes over the packages and returns the
+// surviving diagnostics sorted by file, line, then pass.
+func Run(pkgs []*Package, passes []*Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, pass := range passes {
+			report := func(pos token.Pos, msg string) {
+				position := pkg.Fset.Position(pos)
+				if pkg.suppressed(pass.Name, position) {
+					return
+				}
+				diags = append(diags, Diagnostic{Pos: position, Pass: pass.Name, Msg: msg})
+			}
+			pass.Run(pkg, report)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
+	})
+	return diags
+}
+
+// finishDirectives scans comments for finlint directives; the loader calls
+// it once per package after parsing.
+func (p *Package) finishDirectives() {
+	p.ignores = make(map[string]map[int]map[string]bool)
+	for _, f := range p.Files {
+		filename := p.Fset.Position(f.Pos()).Filename
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				// The tag is either the whole comment or followed by a
+				// dash/colon reason; a prose mention ("finlint:hot marks…")
+				// must not accidentally tag the package.
+				if hot, ok := strings.CutPrefix(text, "finlint:hot"); ok {
+					hot = strings.TrimSpace(hot)
+					if hot == "" || strings.HasPrefix(hot, "—") || strings.HasPrefix(hot, "-") || strings.HasPrefix(hot, ":") {
+						p.Hot = true
+					}
+					continue
+				}
+				rest, ok := strings.CutPrefix(text, "finlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue // a bare ignore suppresses nothing: require a pass name
+				}
+				pass := fields[0]
+				line := p.Fset.Position(c.Pos()).Line
+				m := p.ignores[filename]
+				if m == nil {
+					m = make(map[int]map[string]bool)
+					p.ignores[filename] = m
+				}
+				// The directive covers its own line (trailing comment) and
+				// the next line (comment above the offending statement).
+				for _, l := range []int{line, line + 1} {
+					if m[l] == nil {
+						m[l] = make(map[string]bool)
+					}
+					m[l][pass] = true
+				}
+			}
+		}
+	}
+}
+
+func (p *Package) suppressed(pass string, pos token.Position) bool {
+	m := p.ignores[pos.Filename]
+	if m == nil {
+		return false
+	}
+	set := m[pos.Line]
+	return set != nil && (set[pass] || set["all"])
+}
+
+// calleeStatic resolves call.Fun to (package path, function name) when the
+// callee is a selector on an imported package (pkg.Fn). It returns ok=false
+// for method calls, locals, and builtins.
+func calleeStatic(p *Package, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pkgName, isPkg := p.Info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}
+
+// isBuiltin reports whether call invokes the named builtin (make, append…).
+func isBuiltin(p *Package, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := p.Info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// withinNode reports whether pos falls inside n's source range.
+func withinNode(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden files from current output")
+
+// TestGolden runs each pass over its seeded-violation package under
+// testdata/src/<pass>/ and compares the diagnostics against
+// testdata/<pass>.golden. Every testdata package contains both positive
+// cases (flagged, listed in the golden file) and negative cases (clean
+// code plus a finlint:ignore suppression) so both directions are pinned.
+func TestGolden(t *testing.T) {
+	for _, pass := range Passes() {
+		pass := pass
+		t.Run(pass.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", pass.Name)
+			pkgs, err := Load([]string{dir})
+			if err != nil {
+				t.Fatalf("Load(%s): %v", dir, err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("Load(%s): got %d packages, want 1", dir, len(pkgs))
+			}
+			for _, e := range pkgs[0].TypeErrors {
+				t.Errorf("testdata must type-check cleanly: %v", e)
+			}
+			var buf strings.Builder
+			for _, d := range Run(pkgs, []*Pass{pass}) {
+				fmt.Fprintln(&buf, d)
+			}
+			got := buf.String()
+			goldenPath := filepath.Join("testdata", pass.Name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/lint -run TestGolden -update`): %v", err)
+			}
+			want := string(wantBytes)
+			if got != want {
+				t.Errorf("diagnostics mismatch for pass %s\n--- got ---\n%s--- want ---\n%s", pass.Name, got, want)
+			}
+			if strings.TrimSpace(got) == "" {
+				t.Errorf("pass %s produced no diagnostics on its seeded violations", pass.Name)
+			}
+		})
+	}
+}
+
+// TestGoldenSuppression pins the negative direction explicitly: the clean
+// and finlint:ignore'd functions in each testdata package must not appear
+// in the golden output.
+func TestGoldenSuppression(t *testing.T) {
+	for _, pass := range Passes() {
+		golden, err := os.ReadFile(filepath.Join("testdata", pass.Name+".golden"))
+		if err != nil {
+			t.Fatalf("%s: %v", pass.Name, err)
+		}
+		src, err := os.ReadFile(filepath.Join("testdata", "src", pass.Name, pass.Name+".go"))
+		if err != nil {
+			t.Fatalf("%s: %v", pass.Name, err)
+		}
+		// Every line tagged with an inline "// seeded violation" marker
+		// must be flagged; count them against golden lines.
+		seeded := strings.Count(string(src), "// seeded violation")
+		if seeded == 0 {
+			t.Errorf("%s: testdata has no seeded violations", pass.Name)
+		}
+		goldenLines := 0
+		for _, line := range strings.Split(strings.TrimSpace(string(golden)), "\n") {
+			if line == "" {
+				continue
+			}
+			goldenLines++
+			if !strings.Contains(line, "["+pass.Name+"]") {
+				t.Errorf("%s: golden line from wrong pass: %s", pass.Name, line)
+			}
+		}
+		if goldenLines < seeded {
+			t.Errorf("%s: %d seeded violations but only %d golden diagnostics", pass.Name, seeded, goldenLines)
+		}
+		if strings.Contains(string(golden), "Ignored") || strings.Contains(string(golden), "Good") {
+			// Diagnostics carry file:line only, so this guards messages
+			// that quote an identifier from a clean function.
+			t.Errorf("%s: golden output references a clean/ignored case:\n%s", pass.Name, golden)
+		}
+	}
+}
+
+func TestSelectPasses(t *testing.T) {
+	all, err := SelectPasses("all")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("SelectPasses(all) = %d passes, err %v; want 5, nil", len(all), err)
+	}
+	two, err := SelectPasses("floateq, rngshare")
+	if err != nil || len(two) != 2 || two[0].Name != "floateq" || two[1].Name != "rngshare" {
+		t.Fatalf("SelectPasses subset failed: %v, err %v", two, err)
+	}
+	if _, err := SelectPasses("nosuchpass"); err == nil {
+		t.Fatal("SelectPasses accepted an unknown pass name")
+	}
+}

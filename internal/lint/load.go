@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks the packages matched by patterns, which may
+// be directories ("./internal/rng"), recursive patterns ("./...",
+// "./internal/..."), or absolute equivalents. Test files (*_test.go) are
+// excluded: the invariants guard production kernels, and floateq is
+// specified to exempt tests entirely. Directories named testdata, vendor,
+// or starting with "." are skipped unless the pattern itself points inside
+// one (which is how the golden tests lint the seeded violations).
+//
+// Type-checking uses the standard library's source importer, so imports —
+// both stdlib and intra-module — resolve from source without any
+// third-party loader. Type errors are collected per package, not fatal:
+// passes run on whatever type information survived.
+func Load(patterns []string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	// One importer instance caches dependency packages across all checks.
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(fset, imp, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// expandPatterns resolves CLI patterns into a sorted, de-duplicated list
+// of package directories containing non-test .go files.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("pattern %q: not a directory", pat)
+		}
+		if !recursive {
+			if hasGoFiles(pat) {
+				add(pat)
+			}
+			continue
+		}
+		// The walk skips testdata/vendor/hidden dirs — unless the walk
+		// root itself already lives inside one, meaning the caller asked
+		// for it explicitly.
+		insideSpecial := pathHasSpecial(pat)
+		err = filepath.WalkDir(pat, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != pat && !insideSpecial &&
+				(name == "testdata" || name == "vendor" || (strings.HasPrefix(name, ".") && name != ".")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func pathHasSpecial(path string) bool {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		abs = path
+	}
+	for _, part := range strings.Split(filepath.ToSlash(abs), "/") {
+		if part == "testdata" || part == "vendor" {
+			return true
+		}
+	}
+	return false
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks one package directory. Returns nil if the
+// directory holds no non-test Go files.
+func loadDir(fset *token.FileSet, imp types.Importer, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	pkg := &Package{
+		Path:  importPathFor(dir),
+		Fset:  fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check never fully fails here: the Error callback absorbs problems so
+	// the passes can still run over partial information.
+	pkg.Types, _ = conf.Check(pkg.Path, fset, files, pkg.Info)
+	pkg.finishDirectives()
+	return pkg, nil
+}
+
+// importPathFor derives an import path for dir by locating the enclosing
+// go.mod. Directories outside any module (or inside testdata, which the go
+// tool excludes from builds) fall back to a cleaned directory path; the
+// path only identifies the package in diagnostics and in seeddet's cmd/
+// exemption.
+func importPathFor(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.ToSlash(filepath.Clean(dir))
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return filepath.ToSlash(filepath.Clean(dir))
+		}
+		root = parent
+	}
+	module := modulePath(filepath.Join(root, "go.mod"))
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || module == "" {
+		return filepath.ToSlash(filepath.Clean(dir))
+	}
+	if rel == "." {
+		return module
+	}
+	return module + "/" + filepath.ToSlash(rel)
+}
+
+func modulePath(gomod string) string {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// parallelPkgPath is the module's OpenMP-style loop package; the closures
+// it receives run on multiple goroutines at once.
+const parallelPkgPath = "finbench/internal/parallel"
+
+// parallelLoopFuncs are the entry points whose closure argument executes
+// concurrently. ForIndexed is included: its worker id makes the per-worker
+// pattern *possible*, but capturing one shared stream in its closure is
+// exactly as racy as in For.
+var parallelLoopFuncs = map[string]bool{
+	"For":           true,
+	"ForWorkers":    true,
+	"ForDynamic":    true,
+	"ForIndexed":    true,
+	"Reduce":        true,
+	"ReduceFloat64": true,
+}
+
+// rngsharePass flags an *rng.Stream or *math/rand.Rand captured by a
+// closure handed to the parallel package. MT19937 state updates are not
+// atomic; two workers advancing one twister race on the state vector and
+// silently correlate their draws (the paper's interleaved-stream design,
+// Sec. IV-D3, exists precisely to avoid this). Each worker must derive its
+// own stream inside the closure, e.g. rng.NewStream(worker, seed).
+func rngsharePass() *Pass {
+	return &Pass{
+		Name: "rngshare",
+		Doc:  "RNG stream captured by a parallel-loop closure (must be per-worker)",
+		Run:  runRNGShare,
+	}
+}
+
+func runRNGShare(p *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn, ok := calleeStatic(p, call)
+			if !ok || pkgPath != parallelPkgPath || !parallelLoopFuncs[fn] {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				checkClosureCaptures(p, fn, lit, report)
+			}
+			return true
+		})
+	}
+}
+
+// checkClosureCaptures reports every RNG-typed variable used inside lit
+// but declared outside it (one report per variable).
+func checkClosureCaptures(p *Package, loopFn string, lit *ast.FuncLit, report func(pos token.Pos, msg string)) {
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || reported[obj] {
+			return true
+		}
+		if withinNode(lit, obj.Pos()) {
+			return true // declared inside the closure: worker-local, fine
+		}
+		kind, shared := sharedRNGKind(obj.Type())
+		if !shared {
+			return true
+		}
+		reported[obj] = true
+		report(id.Pos(), fmt.Sprintf(
+			"%s %q is captured by the closure passed to parallel.%s; workers would race on its state — derive a per-worker stream inside the closure (e.g. rng.NewStream(worker, seed) with parallel.ForIndexed)",
+			kind, obj.Name(), loopFn))
+		return true
+	})
+}
+
+// sharedRNGKind reports whether t is a pointer to one of the stateful
+// generator types whose methods are not safe for concurrent use.
+func sharedRNGKind(t types.Type) (string, bool) {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", false
+	}
+	switch obj.Pkg().Path() {
+	case "finbench/internal/rng":
+		if obj.Name() == "Stream" || obj.Name() == "MT" {
+			return "rng stream", true
+		}
+	case "math/rand", "math/rand/v2":
+		if obj.Name() == "Rand" {
+			return "math/rand source", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestFinlintSelfCheck runs the full suite over the whole module and
+// requires zero diagnostics — the same gate scripts/check.sh enforces.
+// Keeping it as a test means `go test ./...` (tier-1) fails the moment a
+// change reintroduces a violation, even if someone skips the script.
+func TestFinlintSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	pkgs, err := Load([]string{"../../..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages from module root")
+	}
+	diags := Run(pkgs, Passes())
+	for _, d := range diags {
+		t.Errorf("finlint: %s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d finding(s); fix them or annotate with // finlint:ignore <pass> <reason>", len(diags))
+	}
+}

@@ -1,0 +1,39 @@
+// Package errcheck holds seeded violations and clean counterparts for the
+// errcheck-lite pass.
+package errcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return nil }
+
+func workValue() (int, error) { return 0, nil }
+
+// BadDropped silently drops error results.
+func BadDropped(f *os.File) {
+	work()      // seeded violation
+	f.Close()   // seeded violation
+	workValue() // seeded violation
+}
+
+// GoodHandled handles, visibly discards, or calls excluded writers. Not
+// flagged.
+func GoodHandled() error {
+	if err := work(); err != nil {
+		return err
+	}
+	_ = work()          // explicit discard is visible in review
+	fmt.Println("done") // fmt printers are excluded
+	var b strings.Builder
+	b.WriteString("x") // in-memory writer never fails: excluded
+	return nil
+}
+
+// IgnoredBestEffort documents a best-effort call.
+func IgnoredBestEffort(f *os.File) {
+	// finlint:ignore errcheck best-effort sync on the shutdown path
+	f.Sync()
+}

@@ -1,0 +1,36 @@
+// Package floateq holds seeded violations and clean counterparts for the
+// floateq pass.
+package floateq
+
+// BadEqual compares computed floats exactly.
+func BadEqual(a, b float64) bool {
+	return a+b == b+a // seeded violation
+}
+
+// BadNotEqual compares against a non-representable constant.
+func BadNotEqual(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		if x != 0.1 { // seeded violation
+			n++
+		}
+	}
+	return n
+}
+
+// GoodInt compares integers. Not flagged.
+func GoodInt(a, b int) bool { return a == b }
+
+// GoodTolerance compares with an explicit tolerance. Not flagged.
+func GoodTolerance(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// IgnoredSentinel checks a value only ever assigned exactly.
+func IgnoredSentinel(v float64) bool {
+	return v == 0 // finlint:ignore floateq exact sentinel, assigned not computed
+}

@@ -1,0 +1,55 @@
+// Package hotalloc holds seeded violations and clean counterparts for the
+// hotalloc pass.
+package hotalloc // finlint:hot — test package simulating a kernel
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+// BadAllocs allocates inside loops four different ways.
+func BadAllocs(n int, sink func(any)) []point {
+	var out []point
+	grow := func() {
+		for i := 0; i < n; i++ {
+			out = append(out, point{x: float64(i)}) // seeded violation (x2: literal + captured append)
+		}
+	}
+	grow()
+	var total float64
+	for i := 0; i < n; i++ {
+		buf := make([]float64, 8) // seeded violation (make)
+		total += buf[0]
+		sink(i) // seeded violation (interface box)
+	}
+	for i := 0; i < n; i++ {
+		_ = fmt.Sprint(i) // seeded violation (variadic interface box)
+	}
+	_ = total
+	return out
+}
+
+// GoodHoisted keeps the hot loop allocation-free: the buffer is hoisted
+// and the append target is loop-local. Not flagged.
+func GoodHoisted(n int) float64 {
+	buf := make([]float64, 8)
+	var sum float64
+	for i := 0; i < n; i++ {
+		buf[i%8] = float64(i)
+		sum += buf[i%8]
+	}
+	local := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		local = append(local, i)
+	}
+	return sum + float64(len(local))
+}
+
+// IgnoredSetup allocates per iteration by design: a cold setup loop.
+func IgnoredSetup(n int) [][]float64 {
+	grids := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// finlint:ignore hotalloc cold setup loop, runs once per run
+		grids = append(grids, make([]float64, 64))
+	}
+	return grids
+}

@@ -1,0 +1,52 @@
+// Package rngshare holds seeded violations and clean counterparts for the
+// rngshare pass. Lines marked "seeded violation" appear in rngshare.golden.
+package rngshare
+
+import (
+	"math/rand"
+
+	"finbench/internal/parallel"
+	"finbench/internal/rng"
+)
+
+// BadSharedStream captures one stream in the closure: every worker would
+// advance the same MT19937 state concurrently.
+func BadSharedStream(dst []float64, seed uint64) {
+	stream := rng.NewStream(0, seed)
+	parallel.For(len(dst), func(lo, hi int) {
+		stream.Uniform(dst[lo:hi]) // seeded violation
+	})
+}
+
+// BadSharedRand captures a *math/rand.Rand across ForWorkers goroutines.
+func BadSharedRand(dst []float64, r *rand.Rand) {
+	parallel.ForWorkers(len(dst), 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = r.Float64() // seeded violation
+		}
+	})
+}
+
+// GoodPerWorker derives an independent stream inside the closure — the
+// paper's one-stream-per-thread design. Not flagged.
+func GoodPerWorker(dst []float64, seed uint64) {
+	parallel.ForIndexed(len(dst), func(worker, lo, hi int) {
+		stream := rng.NewStream(worker, seed)
+		stream.Uniform(dst[lo:hi])
+	})
+}
+
+// GoodSequential uses a stream outside any parallel closure. Not flagged.
+func GoodSequential(dst []float64, seed uint64) {
+	stream := rng.NewStream(0, seed)
+	stream.Uniform(dst)
+}
+
+// IgnoredShared documents a deliberate capture: draw serializes access.
+func IgnoredShared(dst []float64, seed uint64, draw func(*rng.Stream, []float64)) {
+	stream := rng.NewStream(0, seed)
+	parallel.For(len(dst), func(lo, hi int) {
+		// finlint:ignore rngshare draw serializes stream access behind a mutex
+		draw(stream, dst[lo:hi])
+	})
+}

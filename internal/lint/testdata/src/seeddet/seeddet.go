@@ -1,0 +1,38 @@
+// Package seeddet holds seeded violations and clean counterparts for the
+// seeddet pass. (This package's pseudo import path has no cmd element, so
+// the pass applies.)
+package seeddet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadClockSeed seeds from the wall clock: no two runs draw the same
+// sequence.
+func BadClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // seeded violation
+}
+
+// BadGlobalSource draws from math/rand's process-global source.
+func BadGlobalSource() float64 {
+	return rand.Float64() // seeded violation
+}
+
+// GoodThreadedSeed takes the seed as a parameter. Not flagged.
+func GoodThreadedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// GoodClockTiming measures time without seeding anything. Not flagged.
+func GoodClockTiming(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// IgnoredJitter deliberately wants wall-clock randomness.
+func IgnoredJitter() *rand.Rand {
+	// finlint:ignore seeddet backoff jitter, reproducibility not wanted
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}

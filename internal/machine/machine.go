@@ -299,7 +299,7 @@ func (m *Machine) Predict(c perf.Counts) Prediction {
 // Counts.Items as the item count.
 func (m *Machine) Throughput(c perf.Counts) float64 {
 	p := m.Predict(c)
-	if p.Sec == 0 {
+	if p.Sec == 0 { // finlint:ignore floateq exact-zero guard before dividing
 		return 0
 	}
 	return float64(c.Items) / p.Sec

@@ -16,7 +16,7 @@
 // The paper (Sec. IV-A2) replaces cnd with erf via
 // cnd(x) = (1 + erf(x/sqrt2))/2 because erf is cheaper; both forms are
 // provided so kernels can express exactly that substitution.
-package mathx
+package mathx // finlint:hot — allocation-free loops enforced by internal/lint
 
 import "math"
 
@@ -70,7 +70,7 @@ func Log(x float64) float64 {
 	switch {
 	case math.IsNaN(x) || x < 0:
 		return math.NaN()
-	case x == 0:
+	case x == 0: // finlint:ignore floateq IEEE special case: log(+-0) = -Inf exactly
 		return math.Inf(-1)
 	case math.IsInf(x, 1):
 		return x
@@ -153,9 +153,9 @@ func InvCND(p float64) float64 {
 	switch {
 	case math.IsNaN(p) || p < 0 || p > 1:
 		return math.NaN()
-	case p == 0:
+	case p == 0: // finlint:ignore floateq exact domain endpoint: InvCND(0) = -Inf
 		return math.Inf(-1)
-	case p == 1:
+	case p == 1: // finlint:ignore floateq exact domain endpoint: InvCND(1) = +Inf
 		return math.Inf(1)
 	}
 	const pLow = 0.02425
@@ -200,10 +200,10 @@ var (
 func InvCNDMoro(p float64) float64 {
 	switch {
 	case math.IsNaN(p) || p <= 0 || p >= 1:
-		if p == 0 {
+		if p == 0 { // finlint:ignore floateq exact domain endpoint
 			return math.Inf(-1)
 		}
-		if p == 1 {
+		if p == 1 { // finlint:ignore floateq exact domain endpoint
 			return math.Inf(1)
 		}
 		return math.NaN()

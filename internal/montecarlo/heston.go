@@ -95,7 +95,7 @@ func HestonCallMC(s, x, t float64, hp HestonParams, npaths, steps int, seed uint
 //	v(t) = ThetaV + (V0 - ThetaV) e^{-Kappa t},
 //	vbar = ThetaV + (V0 - ThetaV) (1 - e^{-Kappa T})/(Kappa T).
 func HestonEffectiveVol(hp HestonParams, t float64) float64 {
-	if hp.Kappa == 0 {
+	if hp.Kappa == 0 { // finlint:ignore floateq exact parameter sentinel selecting the degenerate CIR limit
 		return mathx.Sqrt(hp.V0)
 	}
 	kT := hp.Kappa * t

@@ -45,8 +45,11 @@ func AmericanPutLSMC(s, x, t float64, npaths, steps int, seed uint64, mkt worklo
 		cash[p] = putPayoff(x, prices[p*steps+steps-1])
 	}
 
-	// Backward induction over earlier exercise dates.
+	// Backward induction over earlier exercise dates. Regression rows are
+	// carved out of one flat backing array so the per-path loop stays
+	// allocation-free (hotalloc invariant).
 	basis := make([][]float64, 0, npaths)
+	backing := make([]float64, 3*npaths)
 	ys := make([]float64, 0, npaths)
 	idx := make([]int, 0, npaths)
 	for k := steps - 2; k >= 0; k-- {
@@ -58,7 +61,9 @@ func AmericanPutLSMC(s, x, t float64, npaths, steps int, seed uint64, mkt worklo
 			if x > sp { // in the money: candidate for exercise
 				// Normalize the regressor for conditioning.
 				u := sp / x
-				basis = append(basis, []float64{1, u, u * u})
+				row := backing[3*len(basis) : 3*len(basis)+3 : 3*len(basis)+3]
+				row[0], row[1], row[2] = 1, u, u*u
+				basis = append(basis, row)
 				ys = append(ys, cash[p]*disc)
 				idx = append(idx, p)
 			}

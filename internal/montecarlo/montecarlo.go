@@ -18,7 +18,7 @@
 // lane accumulators and unrolling — the paper reaches peak with basic
 // pragmas here), and antithetic variates as a variance-reduction
 // extension.
-package montecarlo
+package montecarlo // finlint:hot — allocation-free loops enforced by internal/lint
 
 import (
 	"sync"

@@ -1,0 +1,89 @@
+package parallel
+
+// Race exercise tests: these are shaped so that `go test -race` actually
+// has concurrent memory traffic to inspect. They encode the paper's
+// one-RNG-stream-per-worker discipline (Sec. IV-D3) as executable checks —
+// the same invariant the finlint rngshare pass enforces statically.
+
+import (
+	"sync"
+	"testing"
+
+	"finbench/internal/rng"
+)
+
+// TestRacePerWorkerStreams runs the sanctioned pattern repeatedly: each
+// worker derives its own stream inside the closure and fills a disjoint
+// range. Any accidental sharing introduced here would trip the race
+// detector immediately.
+func TestRacePerWorkerStreams(t *testing.T) {
+	const n = 1 << 14
+	dst := make([]float64, n)
+	for round := 0; round < 8; round++ {
+		ForIndexed(n, func(worker, lo, hi int) {
+			stream := rng.NewStream(worker, 42)
+			stream.NormalICDF(dst[lo:hi])
+		})
+	}
+	var nonzero int
+	for _, v := range dst {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < n/2 {
+		t.Fatalf("only %d/%d elements written", nonzero, n)
+	}
+}
+
+// TestRacePerWorkerStreamsDeterministic pins that the per-worker pattern
+// is reproducible: two runs with the same seed and worker count produce
+// bit-identical output (exact comparison is intended — same stream, same
+// transform, same lanes).
+func TestRacePerWorkerStreamsDeterministic(t *testing.T) {
+	const n, workers = 1 << 12, 4
+	run := func() []float64 {
+		dst := make([]float64, n)
+		chunk := (n + workers - 1) / workers
+		ForWorkers(workers, workers, func(lo, hi int) {
+			for w := lo; w < hi; w++ {
+				base := w * chunk
+				end := base + chunk
+				if end > n {
+					end = n
+				}
+				stream := rng.NewStream(w, 7)
+				stream.Uniform(dst[base:end])
+			}
+		})
+		return dst
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRaceDynamicSharedAccumulator hammers ForDynamic's shared work
+// counter while workers merge partial sums under a mutex — the accumulate
+// pattern the kernels use for perf.Counts merging.
+func TestRaceDynamicSharedAccumulator(t *testing.T) {
+	const n = 1 << 15
+	var mu sync.Mutex
+	var total float64
+	ForDynamic(n, 64, func(lo, hi int) {
+		var local float64
+		for i := lo; i < hi; i++ {
+			local += float64(i)
+		}
+		mu.Lock()
+		total += local
+		mu.Unlock()
+	})
+	want := float64(n) * float64(n-1) / 2
+	if total != want {
+		t.Fatalf("sum = %g, want %g", total, want)
+	}
+}

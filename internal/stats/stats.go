@@ -62,7 +62,7 @@ func (m *Moments) Mean() float64 { return m.mean }
 
 // Variance returns the population variance (n denominator).
 func (m *Moments) Variance() float64 {
-	if m.n == 0 {
+	if m.n == 0 { // finlint:ignore floateq exact zero-sample guard before dividing
 		return 0
 	}
 	return m.m2 / m.n
@@ -81,7 +81,7 @@ func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
 
 // Skewness returns the standardized third moment.
 func (m *Moments) Skewness() float64 {
-	if m.m2 == 0 {
+	if m.m2 == 0 { // finlint:ignore floateq exact zero-variance guard before dividing
 		return 0
 	}
 	return math.Sqrt(m.n) * m.m3 / math.Pow(m.m2, 1.5)
@@ -89,7 +89,7 @@ func (m *Moments) Skewness() float64 {
 
 // Kurtosis returns the standardized fourth moment (3 for a normal).
 func (m *Moments) Kurtosis() float64 {
-	if m.m2 == 0 {
+	if m.m2 == 0 { // finlint:ignore floateq exact zero-variance guard before dividing
 		return 0
 	}
 	return m.n * m.m4 / (m.m2 * m.m2)
@@ -103,7 +103,7 @@ func (m *Moments) Max() float64 { return m.maxVal }
 
 // StdErr returns the standard error of the mean.
 func (m *Moments) StdErr() float64 {
-	if m.n == 0 {
+	if m.n == 0 { // finlint:ignore floateq exact zero-sample guard before dividing
 		return 0
 	}
 	return math.Sqrt(m.SampleVariance() / m.n)
@@ -226,7 +226,7 @@ func Autocorrelation(xs []float64, k int) float64 {
 	for _, x := range xs {
 		den += (x - mean) * (x - mean)
 	}
-	if den == 0 {
+	if den == 0 { // finlint:ignore floateq exact zero-denominator guard
 		return 0
 	}
 	return num / den

@@ -18,7 +18,7 @@
 // Vector arithmetic counts one operation per instruction (not per lane);
 // transcendentals count per element, matching the per-element costs in the
 // machine model.
-package vec
+package vec // finlint:hot — allocation-free loops enforced by internal/lint
 
 import (
 	"fmt"

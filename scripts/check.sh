@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# scripts/check.sh — the repo's full verification gate.
+#
+# Runs, in order: go vet, go build, the tier-1 test suite, the race
+# detector over the concurrency-heavy packages, the fuzz seed corpora,
+# and finlint (cmd/finlint), the custom static-analysis suite that
+# enforces the kernel-safety invariants (see README "Static analysis &
+# CI gate"). Finishes with a self-test that finlint still rejects the
+# seeded violations under internal/lint/testdata/.
+#
+# Usage: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> tier-1: go test ./..."
+go test ./...
+
+echo "==> race detector on concurrency-heavy packages"
+go test -race -count=1 \
+	./internal/parallel \
+	./internal/montecarlo \
+	./internal/brownian \
+	./internal/rng \
+	./internal/bench
+
+echo "==> fuzz seed corpora"
+go test -run='^Fuzz' -count=1 ./internal/mathx ./internal/rng ./internal/blackscholes
+
+echo "==> finlint ./..."
+go run ./cmd/finlint ./...
+
+echo "==> finlint self-test: seeded violations must be rejected"
+if go run ./cmd/finlint ./internal/lint/testdata/... >/dev/null 2>&1; then
+	echo "error: finlint exited 0 on internal/lint/testdata/ seeded violations" >&2
+	exit 1
+fi
+
+echo "check.sh: all gates passed"
