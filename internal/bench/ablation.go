@@ -90,10 +90,7 @@ func registerAblateRNG() {
 			for _, m := range []rng.Method{rng.ICDF, rng.BoxMuller, rng.BoxMuller2, rng.ZigguratMethod} {
 				method := m
 				s := rng.NewStream(0, 1)
-				r.Rows = append(r.Rows, Row{
-					Label: method.String(),
-					Host:  timeIt(n, func() { s.Normal(buf, method) }),
-				})
+				r.Rows = append(r.Rows, hostRow(method.String(), n, func() { s.Normal(buf, method) }))
 			}
 			return r, nil
 		},

@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
+
+	"finbench/internal/benchreg"
+	"finbench/internal/perf"
 )
 
 // MachineCol identifies a throughput column.
@@ -65,8 +67,15 @@ type Row struct {
 	Model map[string]float64
 	// Prov tags the paper values' provenance.
 	Prov Provenance
-	// Host holds the measured wall-clock throughput (Measure mode only).
-	Host float64
+	// Host holds the measured wall-clock throughput (Measure mode only):
+	// the median across HostReps timed repetitions, with HostMAD its
+	// median absolute deviation (see internal/benchreg).
+	Host    float64
+	HostMAD float64
+	// HostReps is the repetition count behind Host; 0 on model-only rows.
+	HostReps int
+	// HostItems is the work-item count per kernel invocation.
+	HostItems int
 }
 
 // Result is a regenerated table/figure.
@@ -96,6 +105,10 @@ type Experiment struct {
 	Model func(scale float64) (*Result, error)
 	// Measure times the kernels on the host; nil when not applicable.
 	Measure func(scale float64) (*Result, error)
+	// Mix profiles the experiment's best-optimized kernel instrumented at
+	// width 8 and returns its dynamic op mix, for recording alongside
+	// throughput in benchreg snapshots; nil when not applicable.
+	Mix func(scale float64) (perf.Counts, error)
 }
 
 var registry []*Experiment
@@ -158,9 +171,9 @@ func (r *Result) Table() string {
 		}
 	}
 	if hasHost {
-		fmt.Fprintf(&b, "%-42s %12s\n", "level", "host")
+		fmt.Fprintf(&b, "%-42s %12s %12s %5s\n", "level", "host", "±mad", "reps")
 		for _, row := range r.Rows {
-			fmt.Fprintf(&b, "%-42s %12s\n", row.Label, human(row.Host))
+			fmt.Fprintf(&b, "%-42s %12s %12s %5d\n", row.Label, human(row.Host), human(row.HostMAD), row.HostReps)
 		}
 		return b.String()
 	}
@@ -203,28 +216,30 @@ func (r *Result) Table() string {
 // CSV renders the result as comma-separated rows for plotting.
 func (r *Result) CSV() string {
 	var b strings.Builder
-	fmt.Fprintln(&b, "label,snb_paper,snb_model,knc_paper,knc_model,host,provenance")
+	fmt.Fprintln(&b, "label,snb_paper,snb_model,knc_paper,knc_model,host,host_mad,provenance")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%q,%g,%g,%g,%g,%g,%s\n", row.Label,
+		fmt.Fprintf(&b, "%q,%g,%g,%g,%g,%g,%g,%s\n", row.Label,
 			row.Paper[ColSNB], row.Model[ColSNB],
-			row.Paper[ColKNC], row.Model[ColKNC], row.Host, row.Prov)
+			row.Paper[ColKNC], row.Model[ColKNC], row.Host, row.HostMAD, row.Prov)
 	}
 	return b.String()
 }
 
+// Sampling configures the warmup+repetition harness behind every host
+// timing in Measure mode. benchreg snapshot runs swap in their own preset
+// (short or full) via Collect; interactive runs use the default.
+var Sampling = benchreg.DefaultOpts()
+
 // timeIt measures the wall-clock throughput of f processing items work
-// units, repeating until at least minDur has elapsed.
-func timeIt(items int, f func()) float64 {
-	const minDur = 200 * time.Millisecond
-	// Warm-up run.
-	f()
-	var elapsed time.Duration
-	runs := 0
-	for elapsed < minDur {
-		start := time.Now()
-		f()
-		elapsed += time.Since(start)
-		runs++
-	}
-	return float64(items) * float64(runs) / elapsed.Seconds()
+// units through benchreg's warmup+repetition harness, so every host
+// number in the repo is a median with a noise bound rather than a single
+// sample.
+func timeIt(items int, f func()) benchreg.Sample {
+	return benchreg.Measure(items, f, Sampling)
+}
+
+// hostRow builds a Measure-mode row from one timed kernel.
+func hostRow(label string, items int, f func()) Row {
+	s := timeIt(items, f)
+	return Row{Label: label, Host: s.OpsPerSec, HostMAD: s.OpsMAD, HostReps: s.Reps, HostItems: s.Items}
 }

@@ -210,11 +210,15 @@ func TestHumanUnits(t *testing.T) {
 }
 
 // Measure mode smoke test: every experiment with a Measure function must
-// produce positive host throughput and a monotone-ish ladder.
+// produce positive host throughput with a repetition count and noise
+// bound attached (timeIt routes through benchreg's median±MAD harness).
 func TestMeasureSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("host timing in -short mode")
 	}
+	prev := Sampling
+	Sampling = quickOpts
+	defer func() { Sampling = prev }()
 	for _, e := range Experiments() {
 		if e.Measure == nil {
 			continue
@@ -227,7 +231,34 @@ func TestMeasureSmoke(t *testing.T) {
 			if row.Host <= 0 {
 				t.Errorf("%s %q: host throughput %g", e.ID, row.Label, row.Host)
 			}
+			if row.HostReps != quickOpts.Reps {
+				t.Errorf("%s %q: %d reps recorded, want %d", e.ID, row.Label, row.HostReps, quickOpts.Reps)
+			}
+			if row.HostMAD < 0 || row.HostItems <= 0 {
+				t.Errorf("%s %q: bad noise/items fields (mad=%g items=%d)", e.ID, row.Label, row.HostMAD, row.HostItems)
+			}
 		}
+	}
+}
+
+// Host-mode Table and CSV must carry the median±MAD columns.
+func TestHostTableAndCSV(t *testing.T) {
+	res := &Result{ID: "x", Title: "host fmt", Units: "options/s", Rows: []Row{
+		{Label: "Scalar reference", Host: 2.5e6, HostMAD: 1.5e4, HostReps: 5},
+		{Label: "Advanced", Host: 8e6, HostMAD: 2e4, HostReps: 5},
+	}}
+	table := res.Table()
+	for _, want := range []string{"host", "±mad", "reps", "2.5M", "15K", "    5"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("host table missing %q:\n%s", want, table)
+		}
+	}
+	csv := res.CSV()
+	if !strings.Contains(csv, "host,host_mad,provenance") {
+		t.Fatalf("CSV header missing host_mad:\n%s", csv)
+	}
+	if !strings.Contains(csv, "2.5e+06,15000") {
+		t.Fatalf("CSV row missing host±mad values:\n%s", csv)
 	}
 }
 

@@ -98,12 +98,19 @@ func registerFig4() {
 			soa := gen.GenerateSOA(nopt)
 			r := &Result{ID: "fig4", Title: "Black-Scholes (host)", Units: "options/s"}
 			r.Rows = []Row{
-				{Label: "Scalar reference", Host: timeIt(nopt, func() { blackscholes.RefScalar(aos, mkt, nil) })},
-				{Label: "Basic (AOS, vectorized w8)", Host: timeIt(nopt, func() { blackscholes.Basic(aos, mkt, 8, nil) })},
-				{Label: "Intermediate (SOA, w8)", Host: timeIt(nopt, func() { blackscholes.Intermediate(soa, mkt, 8, nil) })},
-				{Label: "Advanced (VML batch)", Host: timeIt(nopt, func() { blackscholes.Advanced(soa, mkt, 8, nil) })},
+				hostRow("Scalar reference", nopt, func() { blackscholes.RefScalar(aos, mkt, nil) }),
+				hostRow("Basic (AOS, vectorized w8)", nopt, func() { blackscholes.Basic(aos, mkt, 8, nil) }),
+				hostRow("Intermediate (SOA, w8)", nopt, func() { blackscholes.Intermediate(soa, mkt, 8, nil) }),
+				hostRow("Advanced (VML batch)", nopt, func() { blackscholes.Advanced(soa, mkt, 8, nil) }),
 			}
 			return r, nil
+		},
+		Mix: func(scale float64) (perf.Counts, error) {
+			nopt := layout.PadTo(scaleInt(100000, scale, 4096), 8)
+			soa := workload.DefaultOptionGen.GenerateSOA(nopt)
+			var c perf.Counts
+			blackscholes.Advanced(soa, mkt, 8, &c)
+			return c, nil
 		},
 	})
 }
@@ -165,13 +172,21 @@ func registerFig5() {
 			const steps = 1024
 			r := &Result{ID: "fig5", Title: "Binomial tree (host, N=1024)", Units: "options/s"}
 			r.Rows = []Row{
-				{Label: "Scalar reference", Host: timeIt(nopt, func() { binomial.RefScalar(a, steps, mkt, nil) })},
-				{Label: "Basic (inner-loop SIMD w8)", Host: timeIt(nopt, func() { binomial.Basic(a, steps, mkt, 8, nil) })},
-				{Label: "Intermediate (SIMD across options)", Host: timeIt(nopt, func() { binomial.Intermediate(a, steps, mkt, 8, nil) })},
-				{Label: "Advanced (register tiling)", Host: timeIt(nopt, func() { binomial.Advanced(a, steps, mkt, 8, 16, false, nil) })},
-				{Label: "Advanced (+unroll)", Host: timeIt(nopt, func() { binomial.Advanced(a, steps, mkt, 8, 16, true, nil) })},
+				hostRow("Scalar reference", nopt, func() { binomial.RefScalar(a, steps, mkt, nil) }),
+				hostRow("Basic (inner-loop SIMD w8)", nopt, func() { binomial.Basic(a, steps, mkt, 8, nil) }),
+				hostRow("Intermediate (SIMD across options)", nopt, func() { binomial.Intermediate(a, steps, mkt, 8, nil) }),
+				hostRow("Advanced (register tiling)", nopt, func() { binomial.Advanced(a, steps, mkt, 8, 16, false, nil) }),
+				hostRow("Advanced (+unroll)", nopt, func() { binomial.Advanced(a, steps, mkt, 8, 16, true, nil) }),
 			}
 			return r, nil
+		},
+		Mix: func(scale float64) (perf.Counts, error) {
+			gen := workload.DefaultOptionGen
+			gen.TMax = 3
+			a := gen.GenerateAOS(8 * scaleInt(2, scale, 1))
+			var c perf.Counts
+			binomial.Advanced(a, 1024, mkt, 8, 16, true, &c)
+			return c, nil
 		},
 	})
 }
@@ -232,12 +247,19 @@ func registerFig6() {
 			out := make([]float64, sims*plen)
 			r := &Result{ID: "fig6", Title: "Brownian bridge (host)", Units: "paths/s"}
 			r.Rows = []Row{
-				{Label: "Scalar reference (streamed RNG)", Host: timeIt(sims, func() { br.RefScalar(zs, out, sims, nil) })},
-				{Label: "SIMD across paths (streamed RNG)", Host: timeIt(sims, func() { br.Intermediate(zb, out, sims, 8, nil) })},
-				{Label: "Interleaved RNG", Host: timeIt(sims, func() { br.AdvancedInterleaved(1, out, sims, 8, nil) })},
-				{Label: "Cache-to-cache", Host: timeIt(sims, func() { br.AdvancedC2C(1, sims, 8, nil, nil) })},
+				hostRow("Scalar reference (streamed RNG)", sims, func() { br.RefScalar(zs, out, sims, nil) }),
+				hostRow("SIMD across paths (streamed RNG)", sims, func() { br.Intermediate(zb, out, sims, 8, nil) }),
+				hostRow("Interleaved RNG", sims, func() { br.AdvancedInterleaved(1, out, sims, 8, nil) }),
+				hostRow("Cache-to-cache", sims, func() { br.AdvancedC2C(1, sims, 8, nil, nil) }),
 			}
 			return r, nil
+		},
+		Mix: func(scale float64) (perf.Counts, error) {
+			sims := scaleInt(65536, scale, 4096)
+			br := brownian.New(5, 1)
+			var c perf.Counts
+			br.AdvancedC2C(1, sims, 8, &c, nil)
+			return c, nil
 		},
 	})
 }
@@ -313,12 +335,21 @@ func registerTab2() {
 			s := rng.NewStream(0, 1)
 			r := &Result{ID: "tab2", Title: "Monte Carlo / RNG (host)", Units: "items/s"}
 			r.Rows = []Row{
-				{Label: "options/sec (stream RNG)", Host: timeIt(nopt, func() { montecarlo.Vectorized(b, z, mkt, 8, 4, nil) })},
-				{Label: "options/sec (comp. RNG)", Host: timeIt(nopt, func() { montecarlo.VectorizedComputeRNG(b, npath, 1, mkt, 8, 2, nil) })},
-				{Label: "normally-dist. DP RNG/sec", Host: timeIt(n, func() { s.NormalICDF(buf) })},
-				{Label: "uniform DP RNG/sec", Host: timeIt(n, func() { s.Uniform(buf) })},
+				hostRow("options/sec (stream RNG)", nopt, func() { montecarlo.Vectorized(b, z, mkt, 8, 4, nil) }),
+				hostRow("options/sec (comp. RNG)", nopt, func() { montecarlo.VectorizedComputeRNG(b, npath, 1, mkt, 8, 2, nil) }),
+				hostRow("normally-dist. DP RNG/sec", n, func() { s.NormalICDF(buf) }),
+				hostRow("uniform DP RNG/sec", n, func() { s.Uniform(buf) }),
 			}
 			return r, nil
+		},
+		Mix: func(scale float64) (perf.Counts, error) {
+			npath := scaleInt(262144, scale, 16384)
+			gen := workload.DefaultOptionGen
+			gen.TMax = 3
+			b := gen.NewMCBatch(2)
+			var c perf.Counts
+			montecarlo.VectorizedComputeRNG(b, npath, 1, mkt, 8, 4, &c)
+			return c, nil
 		},
 	})
 }
@@ -366,11 +397,18 @@ func registerFig8() {
 			a := gen.GenerateAOS(nopt)
 			r := &Result{ID: "fig8", Title: "Crank-Nicolson (host)", Units: "options/s"}
 			r.Rows = []Row{
-				{Label: "Scalar reference", Host: timeIt(nopt, func() { cranknicolson.Run(cranknicolson.LevelRef, a, jpoints, nsteps, 8, mkt, nil) })},
-				{Label: "Wavefront SIMD", Host: timeIt(nopt, func() { cranknicolson.Run(cranknicolson.LevelIntermediate, a, jpoints, nsteps, 8, mkt, nil) })},
-				{Label: "Wavefront SIMD + reorder", Host: timeIt(nopt, func() { cranknicolson.Run(cranknicolson.LevelAdvanced, a, jpoints, nsteps, 8, mkt, nil) })},
+				hostRow("Scalar reference", nopt, func() { cranknicolson.Run(cranknicolson.LevelRef, a, jpoints, nsteps, 8, mkt, nil) }),
+				hostRow("Wavefront SIMD", nopt, func() { cranknicolson.Run(cranknicolson.LevelIntermediate, a, jpoints, nsteps, 8, mkt, nil) }),
+				hostRow("Wavefront SIMD + reorder", nopt, func() { cranknicolson.Run(cranknicolson.LevelAdvanced, a, jpoints, nsteps, 8, mkt, nil) }),
 			}
 			return r, nil
+		},
+		Mix: func(scale float64) (perf.Counts, error) {
+			gen := workload.OptionGen{SMin: 80, SMax: 120, XMin: 90, XMax: 110, TMin: 0.8, TMax: 1.2, Seed: 5}
+			a := gen.GenerateAOS(scaleInt(2, scale, 1))
+			var c perf.Counts
+			cranknicolson.Run(cranknicolson.LevelAdvanced, a, 256, scaleInt(1000, scale, 100), 8, mkt, &c)
+			return c, nil
 		},
 	})
 }

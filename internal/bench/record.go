@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+
+	"finbench/internal/benchreg"
+)
+
+// Collect runs every registered experiment's Measure mode (or just the
+// one named by only) at the given scale under the given sampling options
+// and assembles a benchreg Snapshot: one record per measured kernel row,
+// plus each experiment's best-optimized op mix. CreatedAt and Mode are
+// left for the caller (cmd/benchreg) to stamp.
+//
+// The sampling options are installed in the package-level Sampling hook
+// for the duration of the run (and restored after), because the Measure
+// closures reach timeIt through it; Collect is therefore not safe for
+// concurrent use — snapshotting is a whole-process activity anyway, since
+// a co-running benchmark would corrupt the timings it exists to record.
+func Collect(scale float64, opts benchreg.Opts, only string) (*benchreg.Snapshot, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("bench: scale %g outside (0,1]", scale)
+	}
+	prev := Sampling
+	Sampling = opts
+	defer func() { Sampling = prev }()
+
+	snap := &benchreg.Snapshot{
+		Schema:         benchreg.SchemaVersion,
+		Scale:          scale,
+		Opts:           opts,
+		Env:            benchreg.Fingerprint(),
+		CalibOpsPerSec: benchreg.Calibrate(opts),
+		Mixes:          map[string]map[string]uint64{},
+	}
+	matched := false
+	for _, e := range Experiments() {
+		if only != "" && only != "all" && e.ID != only {
+			continue
+		}
+		matched = true
+		if e.Measure != nil {
+			res, err := e.Measure(scale)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s measure: %w", e.ID, err)
+			}
+			for _, row := range res.Rows {
+				if row.HostReps == 0 {
+					continue
+				}
+				snap.Kernels = append(snap.Kernels, benchreg.Record{
+					Experiment: e.ID,
+					Label:      row.Label,
+					Units:      res.Units,
+					Items:      row.HostItems,
+					Reps:       row.HostReps,
+					MedianSec:  secPerCall(row),
+					MADSec:     secMAD(row),
+					OpsPerSec:  row.Host,
+					OpsMAD:     row.HostMAD,
+				})
+			}
+		}
+		if e.Mix != nil {
+			c, err := e.Mix(scale)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s mix: %w", e.ID, err)
+			}
+			snap.Mixes[e.ID] = c.Map()
+		}
+	}
+	if !matched {
+		return nil, fmt.Errorf("bench: no experiment matches %q", only)
+	}
+	if len(snap.Kernels) == 0 {
+		return nil, fmt.Errorf("bench: no measurable kernels selected (experiment %q has no Measure mode)", only)
+	}
+	return snap, nil
+}
+
+// secPerCall recovers the median wall seconds per kernel invocation from
+// a host row (throughput = items/sec).
+func secPerCall(row Row) float64 {
+	if row.Host <= 0 {
+		return 0
+	}
+	return float64(row.HostItems) / row.Host
+}
+
+// secMAD propagates the throughput MAD back to seconds to first order.
+func secMAD(row Row) float64 {
+	if row.Host <= 0 {
+		return 0
+	}
+	return secPerCall(row) * row.HostMAD / row.Host
+}

@@ -1,0 +1,38 @@
+package benchreg
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The fingerprint must be stable within a process: two captures are
+// identical, so a snapshot's env reflects the run, not the call time.
+func TestFingerprintStability(t *testing.T) {
+	a, b := Fingerprint(), Fingerprint()
+	if a != b {
+		t.Fatalf("fingerprint not stable:\n%+v\n%+v", a, b)
+	}
+	if a.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion %q, want %q", a.GoVersion, runtime.Version())
+	}
+	if a.GOMAXPROCS <= 0 || a.NumCPU <= 0 {
+		t.Errorf("non-positive CPU counts: %+v", a)
+	}
+	if a.GOOS == "" || a.GOARCH == "" {
+		t.Errorf("empty platform fields: %+v", a)
+	}
+	if !a.Comparable(b) {
+		t.Error("a fingerprint must be comparable with itself")
+	}
+}
+
+func TestEnvString(t *testing.T) {
+	e := Env{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4, CPUModel: "Some CPU"}
+	s := e.String()
+	for _, want := range []string{"go1.24.0", "linux/amd64", "Some CPU", "GOMAXPROCS=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Env.String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package benchreg
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{10, 10, 10, 1000}, 10}, // outlier-robust
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Median(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	if got := MAD(nil); got != 0 {
+		t.Errorf("MAD(nil) = %g", got)
+	}
+	// {1,2,3,4,5}: median 3, deviations {2,1,0,1,2}, MAD 1.
+	if got := MAD([]float64{1, 2, 3, 4, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MAD = %g, want 1", got)
+	}
+	// A single wild outlier barely moves the MAD.
+	if got := MAD([]float64{10, 10, 10, 10, 1e6}); got != 0 {
+		t.Errorf("MAD with outlier = %g, want 0", got)
+	}
+}
+
+func TestMeasureCallsAndSummary(t *testing.T) {
+	calls := 0
+	o := Opts{Warmup: 2, Reps: 4, MinDuration: time.Microsecond}
+	s := Measure(1000, func() {
+		calls++
+		busy := 0
+		for i := 0; i < 10000; i++ {
+			busy += i
+		}
+		_ = busy
+	}, o)
+	if calls < o.Warmup+o.Reps {
+		t.Fatalf("kernel called %d times, want >= %d", calls, o.Warmup+o.Reps)
+	}
+	if s.Reps != o.Reps || s.Items != 1000 {
+		t.Fatalf("Sample reps/items = %d/%d, want 4/1000", s.Reps, s.Items)
+	}
+	if s.OpsPerSec <= 0 || s.MedianSec <= 0 {
+		t.Fatalf("non-positive summary: ops=%g sec=%g", s.OpsPerSec, s.MedianSec)
+	}
+	if s.OpsMAD < 0 || s.MADSec < 0 {
+		t.Fatalf("negative MAD: ops=%g sec=%g", s.OpsMAD, s.MADSec)
+	}
+	if len(s.Throughputs) != o.Reps {
+		t.Fatalf("%d raw throughput samples, want %d", len(s.Throughputs), o.Reps)
+	}
+	if got := Median(s.Throughputs); math.Abs(got-s.OpsPerSec) > 1e-9*s.OpsPerSec {
+		t.Fatalf("OpsPerSec %g is not the median of the raw samples (%g)", s.OpsPerSec, got)
+	}
+}
+
+func TestOptsDefaults(t *testing.T) {
+	var zero Opts
+	d := zero.withDefaults()
+	if d.Reps <= 0 || d.MinDuration <= 0 {
+		t.Fatalf("withDefaults left zero fields: %+v", d)
+	}
+	// Explicit values survive.
+	o := Opts{Warmup: 3, Reps: 11, MinDuration: time.Second}.withDefaults()
+	if o.Warmup != 3 || o.Reps != 11 || o.MinDuration != time.Second {
+		t.Fatalf("withDefaults clobbered explicit values: %+v", o)
+	}
+	if ShortOpts().Reps >= DefaultOpts().Reps {
+		t.Fatal("ShortOpts must take fewer repetitions than DefaultOpts")
+	}
+	if ShortOpts().MinDuration >= DefaultOpts().MinDuration {
+		t.Fatal("ShortOpts must use briefer repetitions than DefaultOpts")
+	}
+}

@@ -1,0 +1,70 @@
+package benchreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Marshal renders the snapshot as indented, trailing-newline JSON — the
+// canonical on-disk form of BENCH_<n>.json (stable for git diffs).
+func (s *Snapshot) Marshal() ([]byte, error) {
+	s.Schema = SchemaVersion
+	sort.SliceStable(s.Kernels, func(i, j int) bool { return s.Kernels[i].Key() < s.Kernels[j].Key() })
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the snapshot to path in canonical form.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := s.Marshal()
+	if err != nil {
+		return fmt.Errorf("benchreg: marshal snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("benchreg: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a snapshot, refusing unknown schema versions and
+// structurally empty snapshots (no kernels), both of which would make a
+// later diff vacuously green.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: read snapshot: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchreg: parse %s: %w", path, err)
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchreg: %s has schema %d, this tool reads schema %d (regenerate the snapshot)",
+			path, s.Schema, SchemaVersion)
+	}
+	if len(s.Kernels) == 0 {
+		return nil, fmt.Errorf("benchreg: %s contains no kernel records", path)
+	}
+	seen := make(map[string]bool, len(s.Kernels))
+	for _, k := range s.Kernels {
+		if seen[k.Key()] {
+			return nil, fmt.Errorf("benchreg: %s: duplicate kernel key %q", path, k.Key())
+		}
+		seen[k.Key()] = true
+	}
+	return &s, nil
+}
+
+// index maps kernel keys to records for diffing.
+func (s *Snapshot) index() map[string]Record {
+	m := make(map[string]Record, len(s.Kernels))
+	for _, k := range s.Kernels {
+		m[k.Key()] = k
+	}
+	return m
+}

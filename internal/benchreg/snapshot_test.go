@@ -1,0 +1,123 @@
+package benchreg
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testSnapshot builds a small synthetic snapshot with distinct kernels.
+func testSnapshot() *Snapshot {
+	env := Env{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 1, NumCPU: 1, CPUModel: "Test CPU"}
+	return &Snapshot{
+		Schema: SchemaVersion,
+		Mode:   "short",
+		Scale:  0.02,
+		Opts:   ShortOpts(),
+		Env:    env,
+		Kernels: []Record{
+			{Experiment: "fig4", Label: "Advanced (VML batch)", Units: "options/s",
+				Items: 8192, Reps: 5, MedianSec: 1e-3, MADSec: 1e-5, OpsPerSec: 8.192e6, OpsMAD: 5e4},
+			{Experiment: "fig5", Label: "Advanced (+unroll)", Units: "options/s",
+				Items: 16, Reps: 5, MedianSec: 2e-2, MADSec: 4e-4, OpsPerSec: 800, OpsMAD: 12},
+			{Experiment: "tab2", Label: "uniform DP RNG/sec", Units: "items/s",
+				Items: 200000, Reps: 5, MedianSec: 7e-3, MADSec: 2e-4, OpsPerSec: 2.8e7, OpsMAD: 6e5},
+		},
+		Mixes: map[string]map[string]uint64{
+			"fig4": {"math.erf": 2048, "vec.fma": 9000, "meta.items": 8192, "meta.width": 8},
+		},
+	}
+}
+
+// Round-trip: write -> read -> diff against itself yields all-ok deltas
+// with ratio 1 and no regressions.
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	snap := testSnapshot()
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Kernels) != len(snap.Kernels) || got.Mode != "short" || got.Env != snap.Env {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if got.Mixes["fig4"]["math.erf"] != 2048 {
+		t.Fatalf("op mix lost in round-trip: %v", got.Mixes)
+	}
+	report := Check(snap, got, DefaultGate())
+	if len(report.Deltas) != len(snap.Kernels) {
+		t.Fatalf("%d deltas, want %d", len(report.Deltas), len(snap.Kernels))
+	}
+	for _, d := range report.Deltas {
+		if d.Old == nil || d.New == nil {
+			t.Fatalf("%s: self-diff reported a missing side", d.Key)
+		}
+		if d.Ratio < 0.9999999 || d.Ratio > 1.0000001 {
+			t.Errorf("%s: self-diff ratio %g, want 1", d.Key, d.Ratio)
+		}
+		if d.Regression {
+			t.Errorf("%s: self-diff flagged a regression", d.Key)
+		}
+	}
+	if report.Failed(true) {
+		t.Fatal("self-check must pass even with -strict-env")
+	}
+	if !report.EnvMatch {
+		t.Fatal("identical env fingerprints must be comparable")
+	}
+}
+
+func TestSnapshotWriteIsCanonical(t *testing.T) {
+	snap := testSnapshot()
+	// Shuffle the kernel order; Marshal must sort it back.
+	snap.Kernels[0], snap.Kernels[2] = snap.Kernels[2], snap.Kernels[0]
+	a, err := snap.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testSnapshot().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("Marshal is not canonical under kernel reordering")
+	}
+	if !strings.HasSuffix(string(a), "}\n") {
+		t.Fatal("Marshal must end with a trailing newline for clean git diffs")
+	}
+}
+
+func TestReadFileRejectsBadSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"missing.json", "", "parse"}, // empty file: invalid JSON
+		{"garbage.json", "{not json", "parse"},
+		{"schema.json", `{"schema": 99, "kernels": [{"experiment":"x","label":"y"}]}`, "schema"},
+		{"empty.json", `{"schema": 1, "kernels": []}`, "no kernel records"},
+		{"dup.json", `{"schema": 1, "kernels": [
+			{"experiment":"a","label":"b","ops_per_sec":1},
+			{"experiment":"a","label":"b","ops_per_sec":2}]}`, "duplicate kernel key"},
+	}
+	for _, c := range cases {
+		_, err := ReadFile(write(c.name, c.content))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+	if _, err := ReadFile(filepath.Join(dir, "does-not-exist.json")); err == nil {
+		t.Error("ReadFile on a missing path must error")
+	}
+}

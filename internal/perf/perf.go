@@ -231,6 +231,32 @@ func (c Counts) ArithmeticIntensity() float64 {
 	return float64(c.FLOPs()) / float64(b)
 }
 
+// Map renders the mix as a flat name->count map for serialization (the
+// benchreg snapshot form). Zero classes are omitted; DRAM traffic, item
+// count, and SIMD width ride along under reserved keys that cannot
+// collide with op mnemonics (none contain "bytes." or "meta.").
+func (c Counts) Map() map[string]uint64 {
+	out := make(map[string]uint64)
+	for i := 0; i < NumOps; i++ {
+		if c.N[i] > 0 {
+			out[Op(i).String()] = c.N[i]
+		}
+	}
+	if c.BytesRead > 0 {
+		out["bytes.read"] = c.BytesRead
+	}
+	if c.BytesWritten > 0 {
+		out["bytes.written"] = c.BytesWritten
+	}
+	if c.Items > 0 {
+		out["meta.items"] = c.Items
+	}
+	if c.Width > 0 {
+		out["meta.width"] = uint64(c.Width)
+	}
+	return out
+}
+
 // String renders a compact human-readable mix, omitting zero classes and
 // sorting by count (largest first) so profiles read like a VTune hot list.
 func (c Counts) String() string {

@@ -240,3 +240,31 @@ func TestFLOPsMonotoneInWidthQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Map serializes the mix for benchreg snapshots: zero classes omitted,
+// traffic and metadata under reserved keys.
+func TestCountsMap(t *testing.T) {
+	var c Counts
+	c.Add(OpVecFMA, 100)
+	c.Add(OpErf, 7)
+	c.AddBytes(4096, 1024)
+	c.Items = 64
+	c.Width = 8
+	m := c.Map()
+	want := map[string]uint64{
+		"vec.fma": 100, "math.erf": 7,
+		"bytes.read": 4096, "bytes.written": 1024,
+		"meta.items": 64, "meta.width": 8,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("Map has %d keys, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("Map[%q] = %d, want %d", k, m[k], v)
+		}
+	}
+	if empty := (Counts{}).Map(); len(empty) != 0 {
+		t.Errorf("empty Counts maps to %v, want empty", empty)
+	}
+}

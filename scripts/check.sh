@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # scripts/check.sh — the repo's full verification gate.
 #
-# Runs, in order: go vet, go build, the tier-1 test suite, the race
-# detector over the concurrency-heavy packages, the fuzz seed corpora,
-# and finlint (cmd/finlint), the custom static-analysis suite that
-# enforces the kernel-safety invariants (see README "Static analysis &
-# CI gate"). Finishes with a self-test that finlint still rejects the
-# seeded violations under internal/lint/testdata/.
+# Runs, in order: go vet, go build, the benchreg performance gate (a
+# fresh short-mode snapshot checked against the committed baseline
+# BENCH_0.json; see README "Continuous benchmarking"), the tier-1 test
+# suite, the race detector over the concurrency-heavy packages, the fuzz
+# seed corpora, and finlint (the custom static-analysis suite enforcing
+# the kernel-safety invariants; see README "Static analysis & CI gate")
+# with its self-test.
 #
 # Usage: ./scripts/check.sh
+#
+#   CHECK_QUICK=1 ./scripts/check.sh   # local iteration: skips the race
+#                                      # and fuzz stages (the slow ones)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,25 +22,55 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
+# Noise-aware perf gate: snapshot the kernels in short mode and compare
+# against the committed baseline. This runs BEFORE the heavy test stages
+# so the measurement happens on a cool machine — minutes of race/fuzz
+# saturation right before timing skews every kernel at once. Calibration
+# normalization (see internal/benchreg) cancels uniform speed drift, and
+# the threshold is looser than the tool's 10% default because a single
+# short-mode run on a shared/loaded machine can legitimately drift ~15%;
+# a real regression (a kernel losing its vectorization or layout
+# optimization) is far larger. One retry absorbs transient load spikes.
+# Refresh the baseline with:  go run ./cmd/benchreg run -short -o BENCH_0.json
+echo "==> benchreg gate: short snapshot vs committed baseline"
+bench_gate() {
+	go run ./cmd/benchreg check -baseline BENCH_0.json -short \
+		-max-slowdown 0.35 -mad-factor 4
+}
+if ! bench_gate; then
+	echo "==> benchreg gate failed; retrying once after a cooldown"
+	sleep 10
+	bench_gate
+fi
+
 echo "==> tier-1: go test ./..."
-go test ./...
+go test -timeout 10m ./...
 
-echo "==> race detector on concurrency-heavy packages"
-go test -race -count=1 \
-	./internal/parallel \
-	./internal/montecarlo \
-	./internal/brownian \
-	./internal/rng \
-	./internal/bench
+if [[ "${CHECK_QUICK:-0}" == "1" ]]; then
+	echo "==> CHECK_QUICK=1: skipping race detector and fuzz seed stages"
+else
+	echo "==> race detector on concurrency-heavy packages"
+	go test -race -count=1 -timeout 15m \
+		./internal/parallel \
+		./internal/montecarlo \
+		./internal/brownian \
+		./internal/rng \
+		./internal/bench
 
-echo "==> fuzz seed corpora"
-go test -run='^Fuzz' -count=1 ./internal/mathx ./internal/rng ./internal/blackscholes
+	echo "==> fuzz seed corpora"
+	go test -run='^Fuzz' -count=1 -timeout 10m ./internal/mathx ./internal/rng ./internal/blackscholes
+fi
 
+# Build finlint once and reuse the binary for both the main run and the
+# self-test (previously two separate `go run` compiles).
+FINLINT_DIR="$(mktemp -d)"
+trap 'rm -rf "$FINLINT_DIR"' EXIT
 echo "==> finlint ./..."
-go run ./cmd/finlint ./...
+go build -o "$FINLINT_DIR/finlint" ./cmd/finlint
+"$FINLINT_DIR/finlint" ./...
 
 echo "==> finlint self-test: seeded violations must be rejected"
-if go run ./cmd/finlint ./internal/lint/testdata/... >/dev/null 2>&1; then
+if "$FINLINT_DIR/finlint" ./internal/lint/testdata/... >/dev/null 2>&1; then
 	echo "error: finlint exited 0 on internal/lint/testdata/ seeded violations" >&2
 	exit 1
 fi
