@@ -114,6 +114,12 @@ func ProfileBatch(b *Batch, m Market, level OptLevel, width int) (OperationMix, 
 			aos.Set(i, b.Spots[i], b.Strikes[i], b.Expiries[i])
 		}
 		blackscholes.Basic(aos, mkt, width, &c)
+		// Copy the prices back so every level leaves the batch in the same
+		// state (the SOA levels write through b.Calls/b.Puts directly).
+		for i := 0; i < b.Len(); i++ {
+			b.Calls[i] = aos.Call(i)
+			b.Puts[i] = aos.Put(i)
+		}
 	case LevelIntermediate:
 		soa := &layout.SOA{S: b.Spots, X: b.Strikes, T: b.Expiries, Call: b.Calls, Put: b.Puts}
 		blackscholes.Intermediate(soa, mkt, width, &c)

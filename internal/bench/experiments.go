@@ -103,6 +103,17 @@ func registerFig4() {
 				hostRow("Intermediate (SOA, w8)", nopt, func() { blackscholes.Intermediate(soa, mkt, 8, nil) }),
 				hostRow("Advanced (VML batch)", nopt, func() { blackscholes.Advanced(soa, mkt, 8, nil) }),
 			}
+			// Small-batch rows: at this size per-call parallel-region launch
+			// overhead is a visible fraction of the work, so these track the
+			// fork-join substrate's dispatch cost rather than kernel math.
+			smalln := layout.PadTo(4096, 8)
+			soaSmall := gen.GenerateSOA(smalln)
+			r.Rows = append(r.Rows,
+				hostRow("Intermediate (SOA, w8, small batch)", smalln,
+					func() { blackscholes.Intermediate(soaSmall, mkt, 8, nil) }),
+				hostRow("Advanced (VML batch, small batch)", smalln,
+					func() { blackscholes.Advanced(soaSmall, mkt, 8, nil) }),
+			)
 			return r, nil
 		},
 		Mix: func(scale float64) (perf.Counts, error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"finbench/internal/benchreg"
+	"finbench/internal/parallel"
 )
 
 // Collect runs every registered experiment's Measure mode (or just the
@@ -33,6 +34,7 @@ func Collect(scale float64, opts benchreg.Opts, only string) (*benchreg.Snapshot
 		CalibOpsPerSec: benchreg.Calibrate(opts),
 		Mixes:          map[string]map[string]uint64{},
 	}
+	schedBefore := parallel.Sched()
 	matched := false
 	for _, e := range Experiments() {
 		if only != "" && only != "all" && e.ID != only {
@@ -75,6 +77,10 @@ func Collect(scale float64, opts benchreg.Opts, only string) (*benchreg.Snapshot
 	if len(snap.Kernels) == 0 {
 		return nil, fmt.Errorf("bench: no measurable kernels selected (experiment %q has no Measure mode)", only)
 	}
+	// Record how the pool scheduled the run: the counter delta attributes
+	// the snapshot's timings to actual fork-join behavior (serial fast
+	// paths vs dispatched tasks, handoffs vs helping-join steals).
+	snap.Sched = parallel.Sched().Delta(schedBefore).Map()
 	return snap, nil
 }
 

@@ -82,8 +82,8 @@ func TestCollectSingleExperiment(t *testing.T) {
 			t.Fatalf("unexpected experiment %q in filtered snapshot", k.Experiment)
 		}
 	}
-	if len(snap.Kernels) != 4 {
-		t.Fatalf("fig4 has %d measured kernels, want 4", len(snap.Kernels))
+	if len(snap.Kernels) != 6 {
+		t.Fatalf("fig4 has %d measured kernels, want 6 (4 full-batch + 2 small-batch)", len(snap.Kernels))
 	}
 }
 

@@ -67,6 +67,12 @@ type Snapshot struct {
 	// best-optimized kernel (perf.Counts.Map form), recording *why* the
 	// throughput is what it is alongside the number itself.
 	Mixes map[string]map[string]uint64 `json:"mixes,omitempty"`
+	// Sched is the parallel pool's scheduling-counter delta across the
+	// whole collection run (perf.SchedStats.Map form): fork-join jobs,
+	// serial fast-path regions, and how dispatched tasks split between
+	// worker handoffs and helping-join steals. Informational only — diffs
+	// never gate on it.
+	Sched map[string]uint64 `json:"sched,omitempty"`
 }
 
 // Record is the durable form of one kernel's Sample.

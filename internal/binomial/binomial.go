@@ -21,8 +21,6 @@
 package binomial // finlint:hot — allocation-free loops enforced by internal/lint
 
 import (
-	"sync"
-
 	"finbench/internal/layout"
 	"finbench/internal/mathx"
 	"finbench/internal/parallel"
@@ -343,19 +341,15 @@ func finish(c *perf.Counts, n int) {
 }
 
 // runParallel mirrors the pattern used by every kernel package: static
-// parallel split with per-worker counters merged under a lock.
+// parallel split with per-worker counters merged in worker order by the
+// parallel substrate (lock-free on the worker path).
 func runParallel(n int, c *perf.Counts, run func(lo, hi int, c *perf.Counts)) {
 	if c == nil {
 		parallel.For(n, func(lo, hi int) { run(lo, hi, nil) })
 		return
 	}
-	var mu sync.Mutex
-	parallel.ForIndexed(n, func(_, lo, hi int) {
-		var local perf.Counts
-		run(lo, hi, &local)
-		mu.Lock()
-		c.Merge(local)
-		mu.Unlock()
+	parallel.ForIndexedMerged(n, c, func(_, lo, hi int, local *perf.Counts) {
+		run(lo, hi, local)
 	})
 }
 

@@ -17,8 +17,6 @@
 package blackscholes // finlint:hot — allocation-free loops enforced by internal/lint
 
 import (
-	"sync"
-
 	"finbench/internal/layout"
 	"finbench/internal/mathx"
 	"finbench/internal/parallel"
@@ -252,12 +250,7 @@ func runParallel(n int, c *perf.Counts, run func(lo, hi int, c *perf.Counts)) {
 		parallel.For(n, func(lo, hi int) { run(lo, hi, nil) })
 		return
 	}
-	var mu sync.Mutex
-	parallel.ForIndexed(n, func(_, lo, hi int) {
-		var local perf.Counts
-		run(lo, hi, &local)
-		mu.Lock()
-		c.Merge(local)
-		mu.Unlock()
+	parallel.ForIndexedMerged(n, c, func(_, lo, hi int, local *perf.Counts) {
+		run(lo, hi, local)
 	})
 }

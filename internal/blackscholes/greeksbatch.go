@@ -1,8 +1,6 @@
 package blackscholes
 
 import (
-	"sync"
-
 	"finbench/internal/layout"
 	"finbench/internal/mathx"
 	"finbench/internal/parallel"
@@ -71,13 +69,8 @@ func GreeksBatch(s *layout.SOA, out *GreeksSOA, mkt workload.MarketParams, width
 	if c == nil {
 		parallel.For(n, func(lo, hi int) { run(lo, hi, nil) })
 	} else {
-		var mu sync.Mutex
-		parallel.ForIndexed(n, func(_, lo, hi int) {
-			var local perf.Counts
-			run(lo, hi, &local)
-			mu.Lock()
-			c.Merge(local)
-			mu.Unlock()
+		parallel.ForIndexedMerged(n, c, func(_, lo, hi int, local *perf.Counts) {
+			run(lo, hi, local)
 		})
 		c.AddBytes(uint64(24*n), uint64(32*n))
 		c.Items += uint64(n)

@@ -16,12 +16,15 @@ const parallelPkgPath = "finbench/internal/parallel"
 // pattern *possible*, but capturing one shared stream in its closure is
 // exactly as racy as in For.
 var parallelLoopFuncs = map[string]bool{
-	"For":           true,
-	"ForWorkers":    true,
-	"ForDynamic":    true,
-	"ForIndexed":    true,
-	"Reduce":        true,
-	"ReduceFloat64": true,
+	"For":              true,
+	"ForWorkers":       true,
+	"ForDynamic":       true,
+	"ForGuided":        true,
+	"ForIndexed":       true,
+	"ForIndexedMerged": true,
+	"Run":              true,
+	"Reduce":           true,
+	"ReduceFloat64":    true,
 }
 
 // rngsharePass flags an *rng.Stream or *math/rand.Rand captured by a

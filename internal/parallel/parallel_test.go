@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"finbench/internal/perf"
 )
 
 // coverage records which indices fn visited and detects overlap.
@@ -209,4 +211,216 @@ func TestForMultiWorker(t *testing.T) {
 	withProcs(t, 8, func() {
 		coverage(t, 999, func(fn func(lo, hi int)) { For(999, fn) })
 	})
+}
+
+func TestRunSlotsExactlyOnce(t *testing.T) {
+	withProcs(t, 4, func() {
+		for _, slots := range []int{1, 2, 3, 7, 64} {
+			visits := make([]int32, slots)
+			Run(slots, func(slot int) {
+				atomic.AddInt32(&visits[slot], 1)
+			})
+			for s, v := range visits {
+				if v != 1 {
+					t.Fatalf("slots=%d: slot %d ran %d times", slots, s, v)
+				}
+			}
+		}
+	})
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	Run(0, func(int) { t.Error("called for slots=0") })
+	Run(-3, func(int) { t.Error("called for slots<0") })
+	Run(4, nil) // must not panic
+}
+
+// Slots may exceed the worker pool: excess tasks queue and still all run.
+func TestRunMoreSlotsThanWorkers(t *testing.T) {
+	withProcs(t, 2, func() {
+		const slots = 50
+		var ran int32
+		Run(slots, func(int) { atomic.AddInt32(&ran, 1) })
+		if ran != slots {
+			t.Fatalf("ran %d of %d slots", ran, slots)
+		}
+	})
+}
+
+func TestForGuidedCoversExactlyOnce(t *testing.T) {
+	for _, grain := range []int{1, 3, 10, 97, 200} {
+		coverage(t, 97, func(fn func(lo, hi int)) { ForGuided(97, grain, fn) })
+	}
+	coverage(t, 10, func(fn func(lo, hi int)) { ForGuided(10, 0, fn) })
+}
+
+func TestForGuidedMultiWorker(t *testing.T) {
+	withProcs(t, 4, func() {
+		coverage(t, 1000, func(fn func(lo, hi int)) { ForGuided(1000, 4, fn) })
+		coverage(t, 5, func(fn func(lo, hi int)) { ForGuided(5, 2, fn) })
+		ForGuided(0, 1, func(lo, hi int) { t.Error("called for n=0") })
+	})
+}
+
+// Guided handouts must shrink: the first chunk a region hands out is
+// remaining/workers, the tail approaches the minimum grain.
+func TestForGuidedChunksShrink(t *testing.T) {
+	withProcs(t, 4, func() {
+		var mu sync.Mutex
+		sizes := map[int]int{} // lo -> chunk size
+		ForGuided(1000, 2, func(lo, hi int) {
+			mu.Lock()
+			sizes[lo] = hi - lo
+			mu.Unlock()
+		})
+		if sizes[0] < 100 {
+			t.Fatalf("first guided chunk %d items, want a large head chunk", sizes[0])
+		}
+	})
+}
+
+func TestForDynamicAutoGrain(t *testing.T) {
+	// grain <= 0 selects the heuristic; coverage must be unaffected.
+	coverage(t, 10, func(fn func(lo, hi int)) { ForDynamic(10, 0, fn) })
+	coverage(t, 5000, func(fn func(lo, hi int)) { ForDynamic(5000, -1, fn) })
+	withProcs(t, 4, func() {
+		coverage(t, 5000, func(fn func(lo, hi int)) { ForDynamic(5000, 0, fn) })
+	})
+	// The heuristic targets ~8 chunks per worker within [1, 4096].
+	for _, tc := range []struct{ n, workers, want int }{
+		{10, 4, 1},
+		{3200, 4, 100},
+		{1 << 22, 4, 4096},
+		{64, 1, 8},
+	} {
+		if got := autoGrain(tc.n, tc.workers); got != tc.want {
+			t.Errorf("autoGrain(%d, %d) = %d, want %d", tc.n, tc.workers, got, tc.want)
+		}
+	}
+}
+
+// ForDynamic with grain larger than n must still run everything (in one
+// chunk) without touching the pool.
+func TestForDynamicGrainExceedsN(t *testing.T) {
+	withProcs(t, 4, func() {
+		coverage(t, 5, func(fn func(lo, hi int)) { ForDynamic(5, 10, fn) })
+	})
+}
+
+// n smaller than the worker count: every loop form must clamp and cover.
+func TestSmallNManyWorkers(t *testing.T) {
+	withProcs(t, 8, func() {
+		for n := 1; n <= 3; n++ {
+			coverage(t, n, func(fn func(lo, hi int)) { For(n, fn) })
+			coverage(t, n, func(fn func(lo, hi int)) { ForDynamic(n, 1, fn) })
+			coverage(t, n, func(fn func(lo, hi int)) { ForGuided(n, 1, fn) })
+			coverage(t, n, func(fn func(lo, hi int)) {
+				ForIndexed(n, func(_, lo, hi int) { fn(lo, hi) })
+			})
+		}
+	})
+}
+
+// A nested For inside a pool task must complete rather than deadlock: the
+// inner region's tasks are drained by the joining goroutine itself when
+// every pool worker is busy with outer tasks.
+func TestNestedForNoDeadlock(t *testing.T) {
+	withProcs(t, 4, func() {
+		const outer, inner = 16, 64
+		var total int64
+		For(outer, func(olo, ohi int) {
+			for o := olo; o < ohi; o++ {
+				For(inner, func(lo, hi int) {
+					atomic.AddInt64(&total, int64(hi-lo))
+				})
+			}
+		})
+		if total != outer*inner {
+			t.Fatalf("nested total = %d, want %d", total, outer*inner)
+		}
+	})
+}
+
+// Deeper nesting mixing schedule kinds.
+func TestNestedMixedSchedules(t *testing.T) {
+	withProcs(t, 4, func() {
+		var total int64
+		ForDynamic(8, 1, func(olo, ohi int) {
+			for o := olo; o < ohi; o++ {
+				ForGuided(32, 2, func(lo, hi int) {
+					got := ReduceFloat64(hi-lo, func(a, b int) float64 { return float64(b - a) })
+					atomic.AddInt64(&total, int64(got))
+				})
+			}
+		})
+		if total != 8*32 {
+			t.Fatalf("nested total = %d, want %d", total, 8*32)
+		}
+	})
+}
+
+func TestForIndexedMergedCountsAndCoverage(t *testing.T) {
+	withProcs(t, 4, func() {
+		var c perf.Counts
+		coverage(t, 1000, func(fn func(lo, hi int)) {
+			ForIndexedMerged(1000, &c, func(worker, lo, hi int, local *perf.Counts) {
+				if local == nil {
+					t.Error("nil local counts with non-nil c")
+					return
+				}
+				local.Add(perf.OpScalar, uint64(hi-lo))
+				local.Items += uint64(hi - lo)
+				fn(lo, hi)
+			})
+		})
+		if got := c.Get(perf.OpScalar); got != 1000 {
+			t.Fatalf("merged OpScalar = %d, want 1000", got)
+		}
+		if c.Items != 1000 {
+			t.Fatalf("merged Items = %d, want 1000", c.Items)
+		}
+	})
+}
+
+func TestForIndexedMergedNilCounts(t *testing.T) {
+	coverage(t, 100, func(fn func(lo, hi int)) {
+		ForIndexedMerged(100, nil, func(_, lo, hi int, local *perf.Counts) {
+			if local != nil {
+				t.Error("expected nil local counts for nil c")
+			}
+			fn(lo, hi)
+		})
+	})
+}
+
+// Scheduling counters must account for every dispatched task once the
+// region joins: dispatched == handoffs + steals, and forked regions show
+// up in Jobs.
+func TestSchedCountersBalance(t *testing.T) {
+	withProcs(t, 4, func() {
+		before := Sched()
+		for i := 0; i < 50; i++ {
+			For(256, func(lo, hi int) {})
+		}
+		d := Sched().Delta(before)
+		if d.Jobs == 0 {
+			t.Fatal("no forked regions recorded at GOMAXPROCS=4")
+		}
+		if d.Dispatched != d.Handoffs+d.Steals {
+			t.Fatalf("dispatched=%d != handoffs=%d + steals=%d",
+				d.Dispatched, d.Handoffs, d.Steals)
+		}
+		if d.Workers == 0 {
+			t.Fatal("no pool workers after forked regions")
+		}
+	})
+}
+
+func TestSchedCountersSerial(t *testing.T) {
+	before := Sched()
+	ForWorkers(100, 1, func(lo, hi int) {})
+	d := Sched().Delta(before)
+	if d.Serial == 0 {
+		t.Fatal("single-worker region not counted as serial")
+	}
 }

@@ -6,7 +6,9 @@ package parallel
 // the same invariant the finlint rngshare pass enforces statically.
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"finbench/internal/rng"
@@ -63,6 +65,52 @@ func TestRacePerWorkerStreamsDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("run divergence at %d: %g vs %g", i, a[i], b[i])
 		}
+	}
+}
+
+// TestRacePoolStress hammers the persistent pool from many goroutines at
+// once: concurrent submitters, every schedule kind, and nested regions.
+// Under -race this exercises the queue, the cond-parked workers, and the
+// helping join against each other.
+func TestRacePoolStress(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const submitters = 8
+	var wg sync.WaitGroup
+	var total int64
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				switch (s + round) % 4 {
+				case 0:
+					For(300, func(lo, hi int) { atomic.AddInt64(&total, int64(hi-lo)) })
+				case 1:
+					ForDynamic(300, 7, func(lo, hi int) { atomic.AddInt64(&total, int64(hi-lo)) })
+				case 2:
+					ForGuided(300, 3, func(lo, hi int) { atomic.AddInt64(&total, int64(hi-lo)) })
+				case 3:
+					// Nested: an outer region whose tasks open inner regions.
+					For(4, func(olo, ohi int) {
+						for o := olo; o < ohi; o++ {
+							ForIndexed(75, func(_, lo, hi int) {
+								atomic.AddInt64(&total, int64(hi-lo))
+							})
+						}
+					})
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	want := int64(submitters * 20 * 300)
+	if total != want {
+		t.Fatalf("stress total = %d, want %d", total, want)
+	}
+	d := Sched()
+	if d.Dispatched != d.Handoffs+d.Steals {
+		t.Fatalf("pool counters unbalanced after stress: %v", d)
 	}
 }
 

@@ -257,6 +257,66 @@ func (c Counts) Map() map[string]uint64 {
 	return out
 }
 
+// SchedStats describes the parallel substrate's scheduling behavior: how
+// the persistent fork-join pool in internal/parallel dispatched work. It
+// lives here (rather than in internal/parallel) for the same reason Counts
+// does — it is a plain accounting value that rides along in benchreg
+// snapshots, recording *how* a throughput number was scheduled alongside
+// the number itself.
+type SchedStats struct {
+	// Jobs counts parallel regions that actually forked onto the pool.
+	Jobs uint64
+	// Serial counts regions that collapsed to one worker and ran inline
+	// on the calling goroutine (no queue traffic at all).
+	Serial uint64
+	// Dispatched counts chunk tasks enqueued for other goroutines
+	// (slots beyond the submitter's own slot 0).
+	Dispatched uint64
+	// Handoffs counts dispatched tasks executed by parked pool workers.
+	Handoffs uint64
+	// Steals counts dispatched tasks reclaimed and executed by a
+	// submitting goroutine while it joined its own region. After all
+	// regions complete, Handoffs + Steals == Dispatched.
+	Steals uint64
+	// Workers is the pool's current helper-worker count (a level, not a
+	// counter; Delta keeps the newer value).
+	Workers uint64
+}
+
+// Delta returns the counter increments from prev to s (Workers is carried
+// from s). Use it to attribute scheduling activity to a code region by
+// snapshotting before and after.
+func (s SchedStats) Delta(prev SchedStats) SchedStats {
+	return SchedStats{
+		Jobs:       s.Jobs - prev.Jobs,
+		Serial:     s.Serial - prev.Serial,
+		Dispatched: s.Dispatched - prev.Dispatched,
+		Handoffs:   s.Handoffs - prev.Handoffs,
+		Steals:     s.Steals - prev.Steals,
+		Workers:    s.Workers,
+	}
+}
+
+// Map renders the stats as a flat name->count map for serialization (the
+// benchreg snapshot form). Zero fields are kept: a zero Handoffs next to a
+// nonzero Dispatched is itself informative.
+func (s SchedStats) Map() map[string]uint64 {
+	return map[string]uint64{
+		"pool.jobs":       s.Jobs,
+		"pool.serial":     s.Serial,
+		"pool.dispatched": s.Dispatched,
+		"pool.handoffs":   s.Handoffs,
+		"pool.steals":     s.Steals,
+		"pool.workers":    s.Workers,
+	}
+}
+
+// String renders the stats compactly for logs and tables.
+func (s SchedStats) String() string {
+	return fmt.Sprintf("jobs=%d serial=%d dispatched=%d handoffs=%d steals=%d workers=%d",
+		s.Jobs, s.Serial, s.Dispatched, s.Handoffs, s.Steals, s.Workers)
+}
+
 // String renders a compact human-readable mix, omitting zero classes and
 // sorting by count (largest first) so profiles read like a VTune hot list.
 func (c Counts) String() string {

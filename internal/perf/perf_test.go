@@ -268,3 +268,37 @@ func TestCountsMap(t *testing.T) {
 		t.Errorf("empty Counts maps to %v, want empty", empty)
 	}
 }
+
+// Delta subtracts counters but carries Workers (a level, not a counter)
+// from the newer snapshot.
+func TestSchedStatsDelta(t *testing.T) {
+	prev := SchedStats{Jobs: 10, Serial: 100, Dispatched: 30, Handoffs: 20, Steals: 10, Workers: 3}
+	cur := SchedStats{Jobs: 15, Serial: 160, Dispatched: 50, Handoffs: 33, Steals: 17, Workers: 7}
+	d := cur.Delta(prev)
+	want := SchedStats{Jobs: 5, Serial: 60, Dispatched: 20, Handoffs: 13, Steals: 7, Workers: 7}
+	if d != want {
+		t.Fatalf("Delta = %+v, want %+v", d, want)
+	}
+	if d.Dispatched != d.Handoffs+d.Steals {
+		t.Fatalf("delta unbalanced: %v", d)
+	}
+}
+
+// SchedStats.Map keeps zero fields: zero handoffs next to nonzero
+// dispatched is itself informative.
+func TestSchedStatsMap(t *testing.T) {
+	s := SchedStats{Jobs: 2, Dispatched: 6, Steals: 6, Workers: 4}
+	m := s.Map()
+	want := map[string]uint64{
+		"pool.jobs": 2, "pool.serial": 0, "pool.dispatched": 6,
+		"pool.handoffs": 0, "pool.steals": 6, "pool.workers": 4,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("Map has %d keys, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("Map[%q] = %d, want %d", k, m[k], v)
+		}
+	}
+}

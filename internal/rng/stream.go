@@ -75,6 +75,19 @@ func NewStream(id int, seed uint64) *Stream {
 // known-answer path).
 func NewStreamMT(mt *MT) *Stream { return &Stream{mt: mt} }
 
+// DeriveSeed folds tags into a base seed through a SplitMix64 chain,
+// producing a well-separated seed for a derived stream family. Callers use
+// it to give repeated operations (e.g. successive Simulate calls) distinct
+// but reproducible seeds: the same (base, tags...) always yields the same
+// result, and differing in any tag decorrelates the output.
+func DeriveSeed(base uint64, tags ...uint64) uint64 {
+	s := splitmix64(base)
+	for _, t := range tags {
+		s = splitmix64(s ^ splitmix64(t+0x9E3779B97F4A7C15))
+	}
+	return s
+}
+
 func (s *Stream) countRNG(n uint64) {
 	if s.C != nil {
 		s.C.Add(perf.OpRNG, n)

@@ -5,13 +5,25 @@ import (
 
 	"finbench/internal/brownian"
 	"finbench/internal/mathx"
+	"finbench/internal/parallel"
 	"finbench/internal/rng"
+	"finbench/internal/vec"
 )
 
 // PathSimulator generates geometric-Brownian-motion price paths using the
 // Brownian-bridge construction (Sec. II-E / IV-C): the driving Wiener path
 // is built depth-first with interleaved random-number generation, then
 // mapped through S(t) = S0 exp((r - sigma^2/2) t + sigma W(t)).
+//
+// Successive calls to Simulate (and to SimulateTerminal) draw fresh
+// randomness: each call folds a per-method call counter into the seed, so
+// calling Simulate twice yields two independent sets of paths. The
+// sequence is still fully reproducible — two simulators built with the
+// same seed produce identical output call-for-call (first Simulate matches
+// first Simulate, second matches second, and likewise for
+// SimulateTerminal, whose counter advances independently). The call
+// counters make a PathSimulator stateful; a single simulator must not be
+// used from multiple goroutines concurrently.
 type PathSimulator struct {
 	// Steps per path; must be a power of two >= 2.
 	Steps int
@@ -21,7 +33,19 @@ type PathSimulator struct {
 	Seed uint64
 
 	bridge *brownian.Bridge
+
+	// Per-method call counters, folded into the stream seed so repeated
+	// calls do not replay the same randomness.
+	simCalls  uint64
+	termCalls uint64
 }
+
+// Seed-derivation tags separating the Simulate and SimulateTerminal
+// stream families (arbitrary distinct constants).
+const (
+	seedTagSimulate uint64 = 0x51AD_E01F_0000_0001
+	seedTagTerminal uint64 = 0x51AD_E01F_0000_0002
+)
 
 // NewPathSimulator builds a simulator for power-of-two steps (the bridge
 // doubles per level).
@@ -47,7 +71,9 @@ func NewPathSimulator(steps int, horizon float64, seed uint64) (*PathSimulator, 
 func (ps *PathSimulator) Simulate(n int, spot float64, m Market) [][]float64 {
 	plen := ps.bridge.PathLen()
 	flat := make([]float64, n*plen)
-	ps.bridge.AdvancedInterleaved(ps.Seed, flat, n, 8, nil)
+	seed := rng.DeriveSeed(ps.Seed, seedTagSimulate, ps.simCalls)
+	ps.simCalls++
+	ps.bridge.AdvancedInterleaved(seed, flat, n, interleaveWidth(n), nil)
 	mu := m.Rate - m.Volatility*m.Volatility/2
 	dt := ps.Horizon / float64(ps.Steps)
 	out := make([][]float64, n)
@@ -67,7 +93,9 @@ func (ps *PathSimulator) Simulate(n int, spot float64, m Market) [][]float64 {
 // sufficient for European payoffs and far cheaper.
 func (ps *PathSimulator) SimulateTerminal(n int, spot float64, m Market) []float64 {
 	z := make([]float64, n)
-	s := rng.NewStream(0, ps.Seed)
+	seed := rng.DeriveSeed(ps.Seed, seedTagTerminal, ps.termCalls)
+	ps.termCalls++
+	s := rng.NewStream(0, seed)
 	s.NormalICDF(z)
 	mu := (m.Rate - m.Volatility*m.Volatility/2) * ps.Horizon
 	sig := m.Volatility * mathx.Sqrt(ps.Horizon)
@@ -76,4 +104,26 @@ func (ps *PathSimulator) SimulateTerminal(n int, spot float64, m Market) []float
 		out[i] = spot * mathx.Exp(mu+sig*zi)
 	}
 	return out
+}
+
+// interleaveWidth picks the SIMD lane width for the interleaved bridge:
+// the pool's worker count clamped to the path count (no point in lanes
+// without paths), capped at the vector ISA's maximum and rounded down to
+// a power of two, which vec.New requires.
+func interleaveWidth(n int) int {
+	w := parallel.Workers()
+	if w > n {
+		w = n
+	}
+	if w > vec.MaxWidth {
+		w = vec.MaxWidth
+	}
+	if w < 1 {
+		w = 1
+	}
+	// Round down to a power of two.
+	for w&(w-1) != 0 {
+		w &= w - 1
+	}
+	return w
 }
