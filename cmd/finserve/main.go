@@ -1,0 +1,229 @@
+// Command finserve runs the concurrent batch-pricing server or its load
+// generator.
+//
+//	finserve serve   -addr :8123 [-max-units N] [-rate R] [-degrade] ...
+//	finserve loadgen -url http://127.0.0.1:8123 [-requests N] [-mix ...] ...
+//
+// The serve subcommand drains cleanly on SIGTERM/SIGINT: new work is
+// refused with 503 while in-flight requests finish (bounded by
+// -drain-timeout), then the process exits 0.
+//
+// The loadgen subcommand drives a running server with a configurable
+// method mix and asserts the protocol's guarantees from outside: -verify
+// recomputes every 200 against the library and fails on any bit mismatch,
+// -assert-codes restricts which status codes may appear, -min-count
+// demands floors per code, and -check-sched-frozen proves cancelled work
+// stopped reaching the parallel pool. The e2e smoke gate is built from
+// these flags.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"finbench"
+	"finbench/internal/serve"
+	"finbench/internal/serve/loadgen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "serve":
+		os.Exit(runServe(os.Args[2:]))
+	case "loadgen":
+		os.Exit(runLoadgen(os.Args[2:]))
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "finserve: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: finserve serve [flags] | finserve loadgen [flags]")
+	fmt.Fprintln(os.Stderr, "run 'finserve serve -h' or 'finserve loadgen -h' for flags")
+}
+
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("finserve serve", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8123", "listen address")
+		mktRate      = fs.Float64("market-rate", 0.02, "risk-free rate")
+		mktVol       = fs.Float64("market-vol", 0.3, "volatility")
+		maxUnits     = fs.Int64("max-units", 0, "in-flight work-unit budget (0 = default)")
+		admitWait    = fs.Duration("admit-wait", 0, "max admission wait before 503 (0 = default)")
+		rate         = fs.Float64("rate", 0, "request-rate limit per second (0 = off)")
+		burst        = fs.Float64("burst", 0, "rate-limiter burst")
+		window       = fs.Duration("coalesce-window", 0, "coalescing window (0 = default)")
+		maxBatch     = fs.Int("coalesce-max-batch", 0, "flush threshold in options (0 = default)")
+		profileEvery = fs.Int("profile-every", 0, "sample op mix every Nth flush (0 = default, <0 = off)")
+		maxOptions   = fs.Int("max-options", 0, "max options per request (0 = default)")
+		maxPaths     = fs.Int("max-paths", 0, "max Monte Carlo paths per request (0 = default)")
+		maxDeadline  = fs.Duration("max-deadline", 0, "server-side deadline cap (0 = default)")
+		degrade      = fs.Bool("degrade", false, "enable degrade mode under sustained shedding")
+		drainTO      = fs.Duration("drain-timeout", 5*time.Second, "max time to drain on SIGTERM")
+	)
+	_ = fs.Parse(args)
+
+	s := serve.New(serve.Config{
+		Market:           finbench.Market{Rate: *mktRate, Volatility: *mktVol},
+		MaxUnits:         *maxUnits,
+		AdmitWait:        *admitWait,
+		Rate:             *rate,
+		Burst:            *burst,
+		CoalesceWindow:   *window,
+		CoalesceMaxBatch: *maxBatch,
+		ProfileEvery:     *profileEvery,
+		MaxOptions:       *maxOptions,
+		MaxPaths:         *maxPaths,
+		MaxDeadline:      *maxDeadline,
+		Degrade:          *degrade,
+	})
+	defer s.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "finserve: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "finserve: %v\n", err)
+		return 1
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "finserve: %v, draining (timeout %v)\n", got, *drainTO)
+	}
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	drainErr := s.Drain(ctx)
+	shutErr := hs.Shutdown(ctx)
+	if drainErr != nil || (shutErr != nil && !errors.Is(shutErr, context.DeadlineExceeded)) {
+		fmt.Fprintf(os.Stderr, "finserve: drain incomplete after %v (drain=%v shutdown=%v)\n",
+			time.Since(start), drainErr, shutErr)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "finserve: drained in %v\n", time.Since(start))
+	return 0
+}
+
+func runLoadgen(args []string) int {
+	fs := flag.NewFlagSet("finserve loadgen", flag.ExitOnError)
+	var (
+		url         = fs.String("url", "http://127.0.0.1:8123", "server base URL")
+		requests    = fs.Int("requests", 64, "total requests")
+		concurrency = fs.Int("concurrency", 4, "client workers")
+		mixStr      = fs.String("mix", "closed-form=1", "method mix, e.g. closed-form=8,monte-carlo=1,greeks=2")
+		optsPerReq  = fs.Int("options", 8, "options per request")
+		deadlineMS  = fs.Int64("deadline-ms", 0, "deadline_ms sent with each request (0 = none)")
+		mcPaths     = fs.Int("mc-paths", 0, "config.mc_paths override")
+		binSteps    = fs.Int("binomial-steps", 0, "config.binomial_steps override")
+		gridPoints  = fs.Int("grid-points", 0, "config.grid_points override")
+		timeSteps   = fs.Int("time-steps", 0, "config.time_steps override")
+		seed        = fs.Int64("seed", 1, "option-stream seed")
+		timeout     = fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout")
+		verify      = fs.Bool("verify", false, "recompute every 200 against the library; fail on mismatch")
+		assertCodes = fs.String("assert-codes", "", "comma list of the only status codes allowed, e.g. 200,429,503")
+		minCount    = fs.String("min-count", "", "minimum responses per code, e.g. 200:40,503:1")
+		schedFrozen = fs.Bool("check-sched-frozen", false, "after the run, require the pool scheduler counters to stop advancing")
+		schedGap    = fs.Duration("sched-gap", 300*time.Millisecond, "observation gap for -check-sched-frozen")
+	)
+	_ = fs.Parse(args)
+
+	mix, err := loadgen.ParseMix(*mixStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	allow, err := loadgen.ParseCodes(*assertCodes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	mins, err := loadgen.ParseCounts(*minCount)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+
+	rep, err := loadgen.Run(loadgen.Options{
+		BaseURL:           *url,
+		Concurrency:       *concurrency,
+		Requests:          *requests,
+		Mix:               mix,
+		OptionsPerRequest: *optsPerReq,
+		DeadlineMS:        *deadlineMS,
+		Config: serve.WireConfig{
+			MCPaths:       *mcPaths,
+			BinomialSteps: *binSteps,
+			GridPoints:    *gridPoints,
+			TimeSteps:     *timeSteps,
+		},
+		Verify:  *verify,
+		Seed:    *seed,
+		Timeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	fmt.Println(rep)
+
+	failed := false
+	fail := func(format string, a ...any) {
+		failed = true
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: "+format+"\n", a...)
+	}
+	if len(rep.Errors) > 0 {
+		fail("transport errors: %v", rep.Errors)
+	}
+	if *verify && rep.Mismatch > 0 {
+		fail("%d results did not bit-match the library", rep.Mismatch)
+	}
+	if *verify && rep.Verified == 0 && rep.Count(200) > 0 {
+		fail("verification requested but nothing was verified")
+	}
+	if len(allow) > 0 {
+		for code, n := range rep.Codes {
+			if n > 0 && !allow[code] {
+				fail("status %d seen %d times but not in -assert-codes", code, n)
+			}
+		}
+	}
+	for code, want := range mins {
+		if got := rep.Count(code); got < want {
+			fail("status %d: got %d, want >= %d", code, got, want)
+		}
+	}
+	if *schedFrozen {
+		frozen, moved, err := loadgen.SchedFrozen(*url, *schedGap)
+		if err != nil {
+			fail("sched-frozen check: %v", err)
+		} else if !frozen {
+			fail("scheduler counters still advancing after cancellation: %s", moved)
+		} else {
+			fmt.Println("sched counters frozen: cancelled work is not reaching the pool")
+		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Println("loadgen: PASS")
+	return 0
+}

@@ -146,6 +146,11 @@ type Config struct {
 	Seed uint64
 }
 
+// Resolved returns the configuration with every zero field replaced by
+// its default, i.e. the parameters a Price call with this config actually
+// uses. Servers report it so clients can reproduce results exactly.
+func (c *Config) Resolved() Config { return c.withDefaults() }
+
 func (c *Config) withDefaults() Config {
 	out := Config{BinomialSteps: 1024, GridPoints: 256, TimeSteps: 1000, MCPaths: 262144, Seed: 1}
 	if c == nil {

@@ -21,6 +21,8 @@
 package binomial // finlint:hot — allocation-free loops enforced by internal/lint
 
 import (
+	"context"
+
 	"finbench/internal/layout"
 	"finbench/internal/mathx"
 	"finbench/internal/parallel"
@@ -73,6 +75,33 @@ func PriceScalar(s, x, t float64, steps int, mkt workload.MarketParams) float64 
 	return call[0]
 }
 
+// ctxLevelBlock is how many tree levels the cancellable variants reduce
+// between context checks: fine enough that a deep tree stops within tens
+// of microseconds, coarse enough that the check never shows in profiles.
+const ctxLevelBlock = 128
+
+// PriceScalarCtx is PriceScalar with cancellation checked every
+// ctxLevelBlock tree levels. An uncancelled run is bit-identical to
+// PriceScalar (the reduction is the same loop in the same order).
+func PriceScalarCtx(cx context.Context, s, x, t float64, steps int, mkt workload.MarketParams) (float64, error) {
+	done := cx.Done()
+	if done == nil {
+		return PriceScalar(s, x, t, steps, mkt), nil
+	}
+	if err := cx.Err(); err != nil {
+		return 0, err
+	}
+	p := NewParams(t, steps, mkt)
+	call := make([]float64, steps+1)
+	for j := 0; j <= steps; j++ {
+		call[j] = leaf(s, x, p, j)
+	}
+	if !reduceScalarDone(call, p, done) {
+		return 0, cx.Err()
+	}
+	return call[0], nil
+}
+
 // reduceScalar is the Lis. 2 kernel: the in-place ascending-j update.
 func reduceScalar(call []float64, p Params) {
 	n := len(call) - 1
@@ -83,10 +112,53 @@ func reduceScalar(call []float64, p Params) {
 	}
 }
 
+// reduceScalarDone is reduceScalar with a cancellation check every
+// ctxLevelBlock levels; returns false if abandoned mid-reduction.
+func reduceScalarDone(call []float64, p Params, done <-chan struct{}) bool {
+	n := len(call) - 1
+	for i := n; i > 0; i-- {
+		if (n-i)%ctxLevelBlock == 0 {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+		}
+		for j := 0; j <= i-1; j++ {
+			call[j] = p.PuByDf*call[j+1] + p.PdByDf*call[j]
+		}
+	}
+	return true
+}
+
 // PriceAmericanPutScalar prices one American put on the same tree,
 // applying the early-exercise maximum at every node (Sec. II-B). It is the
 // cross-validation oracle for the Crank-Nicolson kernel.
 func PriceAmericanPutScalar(s, x, t float64, steps int, mkt workload.MarketParams) float64 {
+	v, _ := americanPutScalarDone(s, x, t, steps, mkt, nil)
+	return v
+}
+
+// PriceAmericanPutScalarCtx is PriceAmericanPutScalar with cancellation
+// checked every ctxLevelBlock tree levels.
+func PriceAmericanPutScalarCtx(cx context.Context, s, x, t float64, steps int, mkt workload.MarketParams) (float64, error) {
+	done := cx.Done()
+	if done == nil {
+		return PriceAmericanPutScalar(s, x, t, steps, mkt), nil
+	}
+	if err := cx.Err(); err != nil {
+		return 0, err
+	}
+	v, ok := americanPutScalarDone(s, x, t, steps, mkt, done)
+	if !ok {
+		return 0, cx.Err()
+	}
+	return v, nil
+}
+
+// americanPutScalarDone is the shared American-put induction; a nil done
+// skips the per-level-block checks.
+func americanPutScalarDone(s, x, t float64, steps int, mkt workload.MarketParams, done <-chan struct{}) (float64, bool) {
 	p := NewParams(t, steps, mkt)
 	val := make([]float64, steps+1)
 	for j := 0; j <= steps; j++ {
@@ -97,6 +169,13 @@ func PriceAmericanPutScalar(s, x, t float64, steps int, mkt workload.MarketParam
 		val[j] = v
 	}
 	for i := steps; i > 0; i-- {
+		if done != nil && (steps-i)%ctxLevelBlock == 0 {
+			select {
+			case <-done:
+				return 0, false
+			default:
+			}
+		}
 		for j := 0; j <= i-1; j++ {
 			cont := p.PuByDf*val[j+1] + p.PdByDf*val[j]
 			// Early exercise: spot at node (i-1, j) is S e^{(2j-(i-1)) vDt}.
@@ -108,7 +187,7 @@ func PriceAmericanPutScalar(s, x, t float64, steps int, mkt workload.MarketParam
 			}
 		}
 	}
-	return val[0]
+	return val[0], true
 }
 
 // RefScalar prices the batch with the scalar reference, recording the

@@ -1,6 +1,8 @@
 package binomial
 
 import (
+	"context"
+
 	"finbench/internal/mathx"
 	"finbench/internal/workload"
 )
@@ -44,6 +46,30 @@ func NewTriParams(t float64, steps int, mkt workload.MarketParams) TriParams {
 
 // PriceTrinomial prices a European call on the trinomial lattice.
 func PriceTrinomial(s, x, t float64, steps int, mkt workload.MarketParams) float64 {
+	v, _ := priceTrinomialDone(s, x, t, steps, mkt, nil)
+	return v
+}
+
+// PriceTrinomialCtx is PriceTrinomial with cancellation checked every
+// ctxLevelBlock lattice levels.
+func PriceTrinomialCtx(cx context.Context, s, x, t float64, steps int, mkt workload.MarketParams) (float64, error) {
+	done := cx.Done()
+	if done == nil {
+		return PriceTrinomial(s, x, t, steps, mkt), nil
+	}
+	if err := cx.Err(); err != nil {
+		return 0, err
+	}
+	v, ok := priceTrinomialDone(s, x, t, steps, mkt, done)
+	if !ok {
+		return 0, cx.Err()
+	}
+	return v, nil
+}
+
+// priceTrinomialDone is the shared backward induction; a nil done skips
+// the per-level-block cancellation checks.
+func priceTrinomialDone(s, x, t float64, steps int, mkt workload.MarketParams, done <-chan struct{}) (float64, bool) {
 	p := NewTriParams(t, steps, mkt)
 	// 2*steps+1 terminal nodes; node j has price S e^{(j-steps) logU}.
 	n := 2*steps + 1
@@ -56,12 +82,19 @@ func PriceTrinomial(s, x, t float64, steps int, mkt workload.MarketParams) float
 		val[j] = v
 	}
 	for level := steps - 1; level >= 0; level-- {
+		if done != nil && (steps-1-level)%ctxLevelBlock == 0 {
+			select {
+			case <-done:
+				return 0, false
+			default:
+			}
+		}
 		m := 2*level + 1
 		for j := 0; j < m; j++ {
 			val[j] = p.Df * (p.Pd*val[j] + p.Pm*val[j+1] + p.Pu*val[j+2])
 		}
 	}
-	return val[0]
+	return val[0], true
 }
 
 // PriceAmericanPutTrinomial prices an American put on the same lattice

@@ -17,6 +17,8 @@
 package blackscholes // finlint:hot — allocation-free loops enforced by internal/lint
 
 import (
+	"context"
+
 	"finbench/internal/layout"
 	"finbench/internal/mathx"
 	"finbench/internal/parallel"
@@ -24,6 +26,12 @@ import (
 	"finbench/internal/vec"
 	"finbench/internal/workload"
 )
+
+// ctxBlock is the option-count granularity of the cancellable variants'
+// context checks. It must be a multiple of every supported SIMD width so
+// blocking the loops does not move the vector-group boundaries (keeping
+// blocked and unblocked runs bit-identical).
+const ctxBlock = 1024
 
 // PriceScalar prices a single European call and put.
 // d1 = (ln(S/X) + (r + sig^2/2) T) / (sig sqrt(T)), d2 = d1 - sig sqrt(T);
@@ -88,35 +96,69 @@ func priceVec(ctx vec.Ctx, s, x, t vec.Vec, mkt workload.MarketParams) (call, pu
 // The batch length must be a multiple of the vector width (callers pad
 // with layout.PadTo).
 func Basic(a layout.AOS, mkt workload.MarketParams, width int, c *perf.Counts) {
+	_ = BasicCtx(context.Background(), a, mkt, width, c)
+}
+
+// BasicCtx is Basic with cancellation checked every ctxBlock options; an
+// uncancelled run is bit-identical to Basic (blocking at a multiple of the
+// width preserves the vector-group boundaries). On a non-nil return the
+// batch outputs are partial.
+func BasicCtx(cx context.Context, a layout.AOS, mkt workload.MarketParams, width int, c *perf.Counts) error {
+	done := cx.Done()
 	n := a.Len()
 	run := func(lo, hi int, c *perf.Counts) {
 		ctx := vec.New(width, c)
-		i := lo
-		for ; i+width <= hi; i += width {
-			base := i * layout.Stride
-			s := ctx.GatherStride(a.Data, base+layout.FieldS, layout.Stride)
-			x := ctx.GatherStride(a.Data, base+layout.FieldX, layout.Stride)
-			t := ctx.GatherStride(a.Data, base+layout.FieldT, layout.Stride)
-			call, put := priceVec(ctx, s, x, t, mkt)
-			ctx.ScatterStride(a.Data, base+layout.FieldCall, layout.Stride, call)
-			ctx.ScatterStride(a.Data, base+layout.FieldPut, layout.Stride, put)
-		}
-		// Scalar remainder (SIMD-efficiency loss at loop end, Sec. IV-B1).
-		for ; i < hi; i++ {
-			call, put := PriceScalar(a.S(i), a.X(i), a.T(i), mkt)
-			a.SetResult(i, call, put)
+		for blo := lo; blo < hi; blo += ctxBlock {
+			bhi := blo + ctxBlock
+			if bhi > hi {
+				bhi = hi
+			}
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+			i := blo
+			for ; i+width <= bhi; i += width {
+				base := i * layout.Stride
+				s := ctx.GatherStride(a.Data, base+layout.FieldS, layout.Stride)
+				x := ctx.GatherStride(a.Data, base+layout.FieldX, layout.Stride)
+				t := ctx.GatherStride(a.Data, base+layout.FieldT, layout.Stride)
+				call, put := priceVec(ctx, s, x, t, mkt)
+				ctx.ScatterStride(a.Data, base+layout.FieldCall, layout.Stride, call)
+				ctx.ScatterStride(a.Data, base+layout.FieldPut, layout.Stride, put)
+			}
+			// Scalar remainder (SIMD-efficiency loss at loop end, Sec. IV-B1).
+			for ; i < bhi; i++ {
+				call, put := PriceScalar(a.S(i), a.X(i), a.T(i), mkt)
+				a.SetResult(i, call, put)
+			}
 		}
 	}
-	runParallel(n, c, run)
+	if err := runParallelCtx(cx, n, c, run); err != nil {
+		return err
+	}
 	if c != nil {
 		c.AddBytes(uint64(40*n), uint64(16*n))
 		c.Items += uint64(n)
 	}
+	return nil
 }
 
 // Intermediate prices the SOA batch with SIMD across options: aligned
 // loads, call/put parity and the cnd->erf substitution (Sec. IV-A2).
 func Intermediate(s *layout.SOA, mkt workload.MarketParams, width int, c *perf.Counts) {
+	_ = IntermediateCtx(context.Background(), s, mkt, width, c)
+}
+
+// IntermediateCtx is Intermediate with cancellation checked every ctxBlock
+// options; an uncancelled run is bit-identical to Intermediate (ctxBlock is
+// a multiple of the width, so the vector/scalar-tail split per worker chunk
+// is unchanged). On a non-nil return the batch outputs are partial.
+func IntermediateCtx(cx context.Context, s *layout.SOA, mkt workload.MarketParams, width int, c *perf.Counts) error {
+	done := cx.Done()
 	n := s.Len()
 	r, sig := mkt.R, mkt.Sigma
 	sig22 := sig * sig / 2
@@ -125,36 +167,52 @@ func Intermediate(s *layout.SOA, mkt workload.MarketParams, width int, c *perf.C
 		half := ctx.Broadcast(0.5)
 		one := ctx.Broadcast(1)
 		invSqrt2 := ctx.Broadcast(mathx.InvSqrt2)
-		i := lo
-		for ; i+width <= hi; i += width {
-			sp := ctx.Load(s.S, i)
-			x := ctx.Load(s.X, i)
-			t := ctx.Load(s.T, i)
-			qlog := ctx.Log(ctx.Div(sp, x))
-			denom := ctx.Div(one, ctx.Mul(ctx.Broadcast(sig), ctx.Sqrt(t)))
-			d1 := ctx.Mul(ctx.FMA(ctx.Broadcast(r+sig22), t, qlog), denom)
-			d2 := ctx.Mul(ctx.FMA(ctx.Broadcast(r-sig22), t, qlog), denom)
-			xexp := ctx.Mul(x, ctx.Exp(ctx.Mul(ctx.Broadcast(-r), t)))
-			// cnd(d) = (1 + erf(d/sqrt2))/2; two erf calls replace four cnd.
-			nd1 := ctx.Mul(ctx.Add(one, ctx.Erf(ctx.Mul(d1, invSqrt2))), half)
-			nd2 := ctx.Mul(ctx.Add(one, ctx.Erf(ctx.Mul(d2, invSqrt2))), half)
-			call := ctx.Sub(ctx.Mul(sp, nd1), ctx.Mul(xexp, nd2))
-			// Put-call parity: put = call - S + X e^{-rT}.
-			put := ctx.Add(ctx.Sub(call, sp), xexp)
-			ctx.Store(s.Call, i, call)
-			ctx.Store(s.Put, i, put)
-		}
-		for ; i < hi; i++ {
-			call, put := PriceScalar(s.S[i], s.X[i], s.T[i], mkt)
-			s.Call[i] = call
-			s.Put[i] = put
+		for blo := lo; blo < hi; blo += ctxBlock {
+			bhi := blo + ctxBlock
+			if bhi > hi {
+				bhi = hi
+			}
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+			i := blo
+			for ; i+width <= bhi; i += width {
+				sp := ctx.Load(s.S, i)
+				x := ctx.Load(s.X, i)
+				t := ctx.Load(s.T, i)
+				qlog := ctx.Log(ctx.Div(sp, x))
+				denom := ctx.Div(one, ctx.Mul(ctx.Broadcast(sig), ctx.Sqrt(t)))
+				d1 := ctx.Mul(ctx.FMA(ctx.Broadcast(r+sig22), t, qlog), denom)
+				d2 := ctx.Mul(ctx.FMA(ctx.Broadcast(r-sig22), t, qlog), denom)
+				xexp := ctx.Mul(x, ctx.Exp(ctx.Mul(ctx.Broadcast(-r), t)))
+				// cnd(d) = (1 + erf(d/sqrt2))/2; two erf calls replace four cnd.
+				nd1 := ctx.Mul(ctx.Add(one, ctx.Erf(ctx.Mul(d1, invSqrt2))), half)
+				nd2 := ctx.Mul(ctx.Add(one, ctx.Erf(ctx.Mul(d2, invSqrt2))), half)
+				call := ctx.Sub(ctx.Mul(sp, nd1), ctx.Mul(xexp, nd2))
+				// Put-call parity: put = call - S + X e^{-rT}.
+				put := ctx.Add(ctx.Sub(call, sp), xexp)
+				ctx.Store(s.Call, i, call)
+				ctx.Store(s.Put, i, put)
+			}
+			for ; i < bhi; i++ {
+				call, put := PriceScalar(s.S[i], s.X[i], s.T[i], mkt)
+				s.Call[i] = call
+				s.Put[i] = put
+			}
 		}
 	}
-	runParallel(n, c, run)
+	if err := runParallelCtx(cx, n, c, run); err != nil {
+		return err
+	}
 	if c != nil {
 		c.AddBytes(uint64(24*n), uint64(16*n))
 		c.Items += uint64(n)
 	}
+	return nil
 }
 
 // VMLChunk is the cache-resident batch size of the Advanced variant: the
@@ -165,6 +223,15 @@ const VMLChunk = 2048
 // Advanced prices the SOA batch VML-style: whole-array transcendental
 // calls over cache-blocked chunks, with parity and erf substitution.
 func Advanced(s *layout.SOA, mkt workload.MarketParams, width int, c *perf.Counts) {
+	_ = AdvancedCtx(context.Background(), s, mkt, width, c)
+}
+
+// AdvancedCtx is Advanced with cancellation checked once per VMLChunk (the
+// loop is already cache-blocked, so the check adds no extra structure); an
+// uncancelled run is bit-identical to Advanced. On a non-nil return the
+// batch outputs are partial.
+func AdvancedCtx(cx context.Context, s *layout.SOA, mkt workload.MarketParams, width int, c *perf.Counts) error {
+	done := cx.Done()
 	n := s.Len()
 	r, sig := mkt.R, mkt.Sigma
 	sig22 := sig * sig / 2
@@ -176,6 +243,13 @@ func Advanced(s *layout.SOA, mkt workload.MarketParams, width int, c *perf.Count
 		d1 := make([]float64, VMLChunk)
 		d2 := make([]float64, VMLChunk)
 		for base := lo; base < hi; base += VMLChunk {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			m := hi - base
 			if m > VMLChunk {
 				m = VMLChunk
@@ -236,21 +310,24 @@ func Advanced(s *layout.SOA, mkt workload.MarketParams, width int, c *perf.Count
 			}
 		}
 	}
-	runParallel(n, c, run)
+	if err := runParallelCtx(cx, n, c, run); err != nil {
+		return err
+	}
 	if c != nil {
 		c.AddBytes(uint64(24*n), uint64(16*n))
 		c.Items += uint64(n)
 	}
+	return nil
 }
 
-// runParallel splits [0,n) across workers, giving each a private counter
-// merged at the end (counter-free runs go straight through).
-func runParallel(n int, c *perf.Counts, run func(lo, hi int, c *perf.Counts)) {
+// runParallelCtx splits [0,n) across cancellable workers, giving each a
+// private counter merged at the end (counter-free runs go straight
+// through). A Background context takes the same path as the plain loops.
+func runParallelCtx(cx context.Context, n int, c *perf.Counts, run func(lo, hi int, c *perf.Counts)) error {
 	if c == nil {
-		parallel.For(n, func(lo, hi int) { run(lo, hi, nil) })
-		return
+		return parallel.ForCtx(cx, n, func(lo, hi int) { run(lo, hi, nil) })
 	}
-	parallel.ForIndexedMerged(n, c, func(_, lo, hi int, local *perf.Counts) {
+	return parallel.ForIndexedMergedCtx(cx, n, c, func(_, lo, hi int, local *perf.Counts) {
 		run(lo, hi, local)
 	})
 }

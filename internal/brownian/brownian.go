@@ -22,6 +22,8 @@
 package brownian
 
 import (
+	"context"
+
 	"finbench/internal/mathx"
 	"finbench/internal/parallel"
 	"finbench/internal/perf"
@@ -166,11 +168,22 @@ const InterleaveChunk = 4096
 // through DRAM; paths are still written out. seed derives per-worker
 // streams.
 func (b *Bridge) AdvancedInterleaved(seed uint64, out []float64, sims, width int, c *perf.Counts) {
-	b.interleaved(seed, out, sims, width, c, nil)
+	_ = b.AdvancedInterleavedCtx(context.Background(), seed, out, sims, width, c)
+}
+
+// AdvancedInterleavedCtx is AdvancedInterleaved with cancellation checked
+// once per path group; an uncancelled run is bit-identical (per-group
+// streams and the group decomposition are unchanged). On a non-nil return
+// the output paths are partial.
+func (b *Bridge) AdvancedInterleavedCtx(cx context.Context, seed uint64, out []float64, sims, width int, c *perf.Counts) error {
+	if err := b.interleavedCtx(cx, seed, out, sims, width, c, nil); err != nil {
+		return err
+	}
 	if c != nil {
 		c.AddBytes(0, uint64(sims*b.PathLen()*8))
 		c.Items += uint64(sims)
 	}
+	return nil
 }
 
 // AdvancedC2C is AdvancedInterleaved with the constructed paths handed to
@@ -185,9 +198,14 @@ func (b *Bridge) AdvancedC2C(seed uint64, sims, width int, c *perf.Counts, consu
 }
 
 func (b *Bridge) interleaved(seed uint64, out []float64, sims, width int, c *perf.Counts, consume func(int, []vec.Vec)) {
+	_ = b.interleavedCtx(context.Background(), seed, out, sims, width, c, consume)
+}
+
+func (b *Bridge) interleavedCtx(cx context.Context, seed uint64, out []float64, sims, width int, c *perf.Counts, consume func(int, []vec.Vec)) error {
+	done := cx.Done()
 	groups := (sims + width - 1) / width
 	perGroup := b.Steps * width
-	runParallel(groups, c, func(glo, ghi int, c *perf.Counts) {
+	return runParallelCtx(cx, groups, c, func(glo, ghi int, c *perf.Counts) {
 		// Per-worker stream; chunked generation into a cache-resident
 		// buffer. RNG work is deliberately not charged (see package doc).
 		stream := rng.NewStream(glo, seed)
@@ -201,6 +219,13 @@ func (b *Bridge) interleaved(seed uint64, out []float64, sims, width int, c *per
 		outv := make([]vec.Vec, b.PathLen())
 		ctx := vec.New(width, c)
 		for g := glo; g < ghi; g++ {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			if pos == bufCap {
 				stream.NormalICDF(buf)
 				pos = 0
@@ -317,6 +342,16 @@ func runParallel(n int, c *perf.Counts, run func(lo, hi int, c *perf.Counts)) {
 		return
 	}
 	parallel.ForIndexedMerged(n, c, func(_, lo, hi int, local *perf.Counts) {
+		run(lo, hi, local)
+	})
+}
+
+// runParallelCtx is runParallel over the cancellable parallel regions.
+func runParallelCtx(cx context.Context, n int, c *perf.Counts, run func(lo, hi int, c *perf.Counts)) error {
+	if c == nil {
+		return parallel.ForCtx(cx, n, func(lo, hi int) { run(lo, hi, nil) })
+	}
+	return parallel.ForIndexedMergedCtx(cx, n, c, func(_, lo, hi int, local *perf.Counts) {
 		run(lo, hi, local)
 	})
 }

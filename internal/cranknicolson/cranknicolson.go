@@ -34,6 +34,8 @@
 package cranknicolson // finlint:hot — allocation-free loops enforced by internal/lint
 
 import (
+	"context"
+
 	"finbench/internal/mathx"
 	"finbench/internal/perf"
 	"finbench/internal/workload"
@@ -215,9 +217,31 @@ func (s *Solver) SolveScalar(c *perf.Counts) ([]float64, int) {
 	})
 }
 
+// SolveScalarCtx is SolveScalar with cancellation checked once per time
+// step (each step is an explicit half-step plus a full PSOR solve, the
+// natural chunk of this kernel). On cancellation it returns a nil grid and
+// ctx.Err(); an uncancelled run is bit-identical to SolveScalar.
+func (s *Solver) SolveScalarCtx(cx context.Context, c *perf.Counts) ([]float64, int, error) {
+	u, total, ok := s.solveDone(c, cx.Done(), func(b, u, g []float64, omega float64, c *perf.Counts) int {
+		return s.gsorScalar(b, u, g, omega, c)
+	})
+	if !ok {
+		return nil, total, cx.Err()
+	}
+	return u, total, nil
+}
+
 // solve is the shared Lis. 6 driver: init, time loop with explicit step,
 // GSOR solve, and omega adaptation.
 func (s *Solver) solve(c *perf.Counts, gsor func(b, u, g []float64, omega float64, c *perf.Counts) int) ([]float64, int) {
+	u, total, _ := s.solveDone(c, nil, gsor)
+	return u, total
+}
+
+// solveDone is solve with an optional cancellation channel checked before
+// every time step; a nil done skips the checks entirely. Returns ok=false
+// if the loop was abandoned mid-solve.
+func (s *Solver) solveDone(c *perf.Counts, done <-chan struct{}, gsor func(b, u, g []float64, omega float64, c *perf.Counts) int) ([]float64, int, bool) {
 	u := make([]float64, s.J+1)
 	b := make([]float64, s.J+1)
 	g := make([]float64, s.J+1)
@@ -230,6 +254,13 @@ func (s *Solver) solve(c *perf.Counts, gsor func(b, u, g []float64, omega float6
 	total := 0
 	s.stepsDone = 0
 	for n := 1; n <= s.N; n++ {
+		if done != nil {
+			select {
+			case <-done:
+				return u, total, false
+			default:
+			}
+		}
 		tau := float64(n) * s.DTau
 		s.explicitStep(u, b, g, tau, c)
 		loops := gsor(b, u, g, omega, c)
@@ -240,7 +271,7 @@ func (s *Solver) solve(c *perf.Counts, gsor func(b, u, g []float64, omega float6
 		oldloops = loops
 		s.stepsDone++
 	}
-	return u, total
+	return u, total, true
 }
 
 // Price recovers the option value at spot from the final grid:
@@ -269,6 +300,16 @@ func PriceAmericanPut(spot, strike, t float64, jpoints, nsteps int, mkt workload
 	return s.Price(u, spot, strike)
 }
 
+// PriceAmericanPutCtx is PriceAmericanPut with per-time-step cancellation.
+func PriceAmericanPutCtx(cx context.Context, spot, strike, t float64, jpoints, nsteps int, mkt workload.MarketParams) (float64, error) {
+	s := NewSolver(t, jpoints, nsteps, DefaultAlpha, mkt)
+	u, _, err := s.SolveScalarCtx(cx, nil)
+	if err != nil {
+		return 0, err
+	}
+	return s.Price(u, spot, strike), nil
+}
+
 // PriceEuropeanPut prices a European put on the same lattice (validation
 // against the closed form).
 func PriceEuropeanPut(spot, strike, t float64, jpoints, nsteps int, mkt workload.MarketParams) float64 {
@@ -276,4 +317,15 @@ func PriceEuropeanPut(spot, strike, t float64, jpoints, nsteps int, mkt workload
 	s.American = false
 	u, _ := s.SolveScalar(nil)
 	return s.Price(u, spot, strike)
+}
+
+// PriceEuropeanPutCtx is PriceEuropeanPut with per-time-step cancellation.
+func PriceEuropeanPutCtx(cx context.Context, spot, strike, t float64, jpoints, nsteps int, mkt workload.MarketParams) (float64, error) {
+	s := NewSolver(t, jpoints, nsteps, DefaultAlpha, mkt)
+	s.American = false
+	u, _, err := s.SolveScalarCtx(cx, nil)
+	if err != nil {
+		return 0, err
+	}
+	return s.Price(u, spot, strike), nil
 }

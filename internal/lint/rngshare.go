@@ -25,6 +25,11 @@ var parallelLoopFuncs = map[string]bool{
 	"Run":              true,
 	"Reduce":           true,
 	"ReduceFloat64":    true,
+	// Cancellable variants (the serving path): the closure contract is
+	// identical, so a captured stream races exactly the same way.
+	"ForCtx":              true,
+	"ForDynamicCtx":       true,
+	"ForIndexedMergedCtx": true,
 }
 
 // rngsharePass flags an *rng.Stream or *math/rand.Rand captured by a

@@ -3,9 +3,11 @@
 package rngshare
 
 import (
+	"context"
 	"math/rand"
 
 	"finbench/internal/parallel"
+	"finbench/internal/perf"
 	"finbench/internal/rng"
 )
 
@@ -48,5 +50,35 @@ func IgnoredShared(dst []float64, seed uint64, draw func(*rng.Stream, []float64)
 	parallel.For(len(dst), func(lo, hi int) {
 		// finlint:ignore rngshare draw serializes stream access behind a mutex
 		draw(stream, dst[lo:hi])
+	})
+}
+
+// BadSharedStreamCtx captures one stream in a closure handed to a
+// cancellable loop — the coalescer-flush shape: a server goroutine builds
+// a mega-batch, grabs a stream for it, and prices under a deadline. The
+// ctx variants run the closure on exactly as many goroutines as For does.
+func BadSharedStreamCtx(ctx context.Context, dst []float64, seed uint64) error {
+	stream := rng.NewStream(0, seed)
+	return parallel.ForCtx(ctx, len(dst), func(lo, hi int) {
+		stream.Uniform(dst[lo:hi]) // seeded violation
+	})
+}
+
+// BadSharedRandMergedCtx captures a *math/rand.Rand across the
+// counter-merging cancellable loop.
+func BadSharedRandMergedCtx(ctx context.Context, dst []float64, r *rand.Rand, c *perf.Counts) error {
+	return parallel.ForIndexedMergedCtx(ctx, len(dst), c, func(worker, lo, hi int, local *perf.Counts) {
+		for i := lo; i < hi; i++ {
+			dst[i] = r.Float64() // seeded violation
+		}
+	})
+}
+
+// GoodPerWorkerCtx derives the stream inside the cancellable closure. Not
+// flagged.
+func GoodPerWorkerCtx(ctx context.Context, dst []float64, seed uint64, c *perf.Counts) error {
+	return parallel.ForIndexedMergedCtx(ctx, len(dst), c, func(worker, lo, hi int, local *perf.Counts) {
+		stream := rng.NewStream(worker, seed)
+		stream.Uniform(dst[lo:hi])
 	})
 }

@@ -21,6 +21,8 @@
 package montecarlo // finlint:hot — allocation-free loops enforced by internal/lint
 
 import (
+	"context"
+
 	"finbench/internal/mathx"
 	"finbench/internal/parallel"
 	"finbench/internal/perf"
@@ -172,8 +174,22 @@ const RNGChunk = 4096
 // for every option, matching the paper's computed mode. RNG work IS
 // charged here (unlike the Brownian-bridge accounting).
 func VectorizedComputeRNG(s *workload.MCBatch, npath int, seed uint64, mkt workload.MarketParams, width, unroll int, c *perf.Counts) {
+	// context.Background carries no cancellation signal, so the ctx path
+	// below skips every checkpoint and cannot return an error.
+	_ = VectorizedComputeRNGCtx(context.Background(), s, npath, seed, mkt, width, unroll, c)
+}
+
+// VectorizedComputeRNGCtx is VectorizedComputeRNG with cancellation: the
+// path loop checks ctx once per RNGChunk refill (a few microseconds of
+// work), so an expired pricing request stops burning pool workers at chunk
+// granularity. Worker chunks not yet started when ctx is cancelled are
+// skipped by the parallel substrate. On a non-nil return the batch outputs
+// are partial and must be discarded. An uncancelled run is bit-identical
+// to VectorizedComputeRNG (same decomposition, same per-worker streams).
+func VectorizedComputeRNGCtx(cx context.Context, s *workload.MCBatch, npath int, seed uint64, mkt workload.MarketParams, width, unroll int, c *perf.Counts) error {
+	done := cx.Done()
 	n := len(s.S)
-	runParallel(n, c, func(lo, hi int, c *perf.Counts) {
+	err := runParallelCtx(cx, n, c, func(lo, hi int, c *perf.Counts) {
 		ctx := vec.New(width, c)
 		stream := rng.NewStream(lo, seed)
 		stream.C = c
@@ -182,6 +198,13 @@ func VectorizedComputeRNG(s *workload.MCBatch, npath int, seed uint64, mkt workl
 			var v0, v1 float64
 			remaining := npath
 			for remaining > 0 {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				m := RNGChunk
 				if m > remaining {
 					m = remaining
@@ -197,10 +220,14 @@ func VectorizedComputeRNG(s *workload.MCBatch, npath int, seed uint64, mkt workl
 			s.StdErr[i] = res.StdErr
 		}
 	})
+	if err != nil {
+		return err
+	}
 	if c != nil {
 		c.AddBytes(0, uint64(16*n))
 		c.Items += uint64(n)
 	}
+	return nil
 }
 
 // Antithetic prices the batch with antithetic variates: each normal z is
@@ -249,6 +276,18 @@ func runParallel(n int, c *perf.Counts, run func(lo, hi int, c *perf.Counts)) {
 		return
 	}
 	parallel.ForIndexedMerged(n, c, func(_, lo, hi int, local *perf.Counts) {
+		run(lo, hi, local)
+	})
+}
+
+// runParallelCtx is runParallel over the cancellable parallel regions:
+// worker chunks skip when cx is already done, and the kernel's own finer
+// checkpoints handle mid-chunk expiry.
+func runParallelCtx(cx context.Context, n int, c *perf.Counts, run func(lo, hi int, c *perf.Counts)) error {
+	if c == nil {
+		return parallel.ForCtx(cx, n, func(lo, hi int) { run(lo, hi, nil) })
+	}
+	return parallel.ForIndexedMergedCtx(cx, n, c, func(_, lo, hi int, local *perf.Counts) {
 		run(lo, hi, local)
 	})
 }

@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+
+	"finbench/internal/perf"
+)
+
+// Cancellable regions. A pricing server cannot afford a request whose
+// deadline has passed to keep burning pool workers: the ctx-aware loop
+// variants below check the region's context at chunk granularity, so an
+// expired request stops dispatching new chunks while chunks already
+// running finish normally (the kernels add finer-grained checkpoints
+// inside their own loops — per RNG refill, per time step, per level
+// block). When ctx carries no cancellation signal (ctx.Done() == nil,
+// e.g. context.Background()), every variant delegates to its plain
+// counterpart and the hot path pays nothing.
+//
+// Decomposition semantics are identical to the plain variants — the same
+// [lo,hi) chunks in the same slot order — so a region that runs to
+// completion produces bit-identical results through either entry point.
+
+// ForCtx is For with cancellation: each worker chunk checks ctx before
+// running, and chunks not yet started when ctx is cancelled are skipped.
+// Returns ctx.Err() if the region was cancelled (even when every chunk
+// happened to complete first — callers must treat the output as partial),
+// nil otherwise.
+func ForCtx(ctx context.Context, n int, fn func(lo, hi int)) error {
+	done := ctx.Done()
+	if done == nil {
+		For(n, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	For(n, func(lo, hi int) {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		fn(lo, hi)
+	})
+	return ctx.Err()
+}
+
+// ForDynamicCtx is ForDynamic with cancellation checked at every chunk
+// handout: after ctx is cancelled no further grain-sized chunks are
+// handed out, so the region stops within one grain per worker. Returns
+// ctx.Err() if cancelled, nil otherwise.
+func ForDynamicCtx(ctx context.Context, n, grain int, fn func(lo, hi int)) error {
+	done := ctx.Done()
+	if done == nil {
+		ForDynamic(n, grain, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if grain <= 0 {
+		grain = autoGrain(n, Workers())
+	}
+	var stopped atomic.Bool
+	// The wrapper re-subdivides whatever range it is handed: the parallel
+	// path hands out grain-sized chunks already, but the serial fallback
+	// (one worker) hands the whole range in one call, and cancellation must
+	// still take effect at grain granularity there.
+	ForDynamic(n, grain, func(lo, hi int) {
+		for sub := lo; sub < hi; sub += grain {
+			if stopped.Load() {
+				return
+			}
+			select {
+			case <-done:
+				stopped.Store(true)
+				return
+			default:
+			}
+			shi := sub + grain
+			if shi > hi {
+				shi = hi
+			}
+			fn(sub, shi)
+		}
+	})
+	return ctx.Err()
+}
+
+// ForIndexedMergedCtx is ForIndexedMerged with cancellation: worker
+// chunks not yet started when ctx is cancelled are skipped (their
+// perf.Counts partials stay zero and still merge in worker order).
+// Returns ctx.Err() if cancelled, nil otherwise.
+func ForIndexedMergedCtx(ctx context.Context, n int, c *perf.Counts, fn func(worker, lo, hi int, c *perf.Counts)) error {
+	done := ctx.Done()
+	if done == nil {
+		ForIndexedMerged(n, c, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ForIndexedMerged(n, c, func(worker, lo, hi int, local *perf.Counts) {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		fn(worker, lo, hi, local)
+	})
+	return ctx.Err()
+}

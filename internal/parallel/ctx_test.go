@@ -1,0 +1,102 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"finbench/internal/perf"
+)
+
+func TestForCtxBackgroundMatchesFor(t *testing.T) {
+	const n = 1000
+	want := make([]int32, n)
+	For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			want[i] = int32(i * 3)
+		}
+	})
+	got := make([]int32, n)
+	if err := ForCtx(context.Background(), n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got[i] = int32(i * 3)
+		}
+	}); err != nil {
+		t.Fatalf("ForCtx(Background) = %v, want nil", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForCtx(ctx, 100, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d items ran despite pre-cancelled ctx", ran.Load())
+	}
+}
+
+func TestForDynamicCtxStopsMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n, grain = 1 << 16, 16
+	err := ForDynamicCtx(ctx, n, grain, func(lo, hi int) {
+		if ran.Add(int64(hi-lo)) > n/8 {
+			cancel()
+		}
+		time.Sleep(time.Microsecond)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got == 0 || got == n {
+		t.Fatalf("ran %d of %d items; want a partial run", got, n)
+	}
+}
+
+func TestForDynamicCtxCompletesUncancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	const n = 4096
+	if err := ForDynamicCtx(ctx, n, 64, func(lo, hi int) { ran.Add(int64(hi - lo)) }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d items", ran.Load(), n)
+	}
+}
+
+func TestForIndexedMergedCtxMergesPartials(t *testing.T) {
+	var c perf.Counts
+	const n = 1 << 12
+	if err := ForIndexedMergedCtx(context.Background(), n, &c, func(_, lo, hi int, local *perf.Counts) {
+		local.Add(perf.OpScalar, uint64(hi-lo))
+	}); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if got := c.Get(perf.OpScalar); got != n {
+		t.Fatalf("merged count = %d, want %d", got, n)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var c2 perf.Counts
+	if err := ForIndexedMergedCtx(ctx, n, &c2, func(_, lo, hi int, local *perf.Counts) {
+		local.Add(perf.OpScalar, uint64(hi-lo))
+	}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := c2.Get(perf.OpScalar); got != 0 {
+		t.Fatalf("cancelled region still counted %d items", got)
+	}
+}

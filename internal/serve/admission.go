@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"finbench"
+)
+
+// Admission control. Every request costs a number of work units
+// proportional to its estimated CPU time (method weight x option count);
+// a weighted semaphore bounds the units in flight. Requests that cannot
+// acquire their units within a short bounded wait are shed with 503 —
+// fast rejection at the door instead of a queue that grows without bound
+// and blows every deadline (the server's overload answer). A token
+// bucket in front rate-limits request *count* independently of size.
+
+// unitCost estimates the work units of pricing n options with the given
+// method and resolved config. Units are scaled so one closed-form option
+// costs ~1; the heavy methods' weights come from their operation counts
+// (a 1024-step tree touches ~steps^2/2 nodes, a 256x1000 Crank-Nicolson
+// grid ~grid*steps PSOR updates, Monte Carlo ~paths exp evaluations).
+func unitCost(method finbench.Method, cfg finbench.Config, n int) int64 {
+	var per int64
+	switch method {
+	case finbench.ClosedForm:
+		per = 1
+	case finbench.BinomialTree, finbench.TrinomialTree:
+		s := int64(cfg.BinomialSteps)
+		per = s*s/1000 + 1
+	case finbench.FiniteDifference:
+		per = int64(cfg.GridPoints)*int64(cfg.TimeSteps)/50 + 1
+	case finbench.MonteCarlo:
+		per = int64(cfg.MCPaths)/25 + 1
+	default:
+		per = 1
+	}
+	return per * int64(n)
+}
+
+// admission is a weighted semaphore with FIFO waiters and bounded waits.
+type admission struct {
+	mu  sync.Mutex
+	max int64
+	cur int64
+	q   []*admWaiter
+}
+
+type admWaiter struct {
+	units int64
+	ready chan struct{}
+}
+
+func newAdmission(maxUnits int64) *admission {
+	return &admission{max: maxUnits}
+}
+
+// acquire obtains units, waiting at most wait. Requests larger than the
+// whole budget are clamped so they can still run (alone). Returns the
+// units actually held (to pass to release) and whether admission
+// succeeded.
+func (a *admission) acquire(units int64, wait time.Duration) (int64, bool) {
+	if units > a.max {
+		units = a.max
+	}
+	a.mu.Lock()
+	if len(a.q) == 0 && a.cur+units <= a.max {
+		a.cur += units
+		a.mu.Unlock()
+		return units, true
+	}
+	if wait <= 0 {
+		a.mu.Unlock()
+		return 0, false
+	}
+	w := &admWaiter{units: units, ready: make(chan struct{})}
+	a.q = append(a.q, w)
+	a.mu.Unlock()
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return units, true
+	case <-timer.C:
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted between the timeout firing and taking the lock.
+			a.mu.Unlock()
+			return units, true
+		default:
+		}
+		for i, q := range a.q {
+			if q == w {
+				a.q = append(a.q[:i], a.q[i+1:]...)
+				break
+			}
+		}
+		a.mu.Unlock()
+		return 0, false
+	}
+}
+
+// release returns units and grants queued waiters in FIFO order.
+func (a *admission) release(units int64) {
+	a.mu.Lock()
+	a.cur -= units
+	for len(a.q) > 0 && a.cur+a.q[0].units <= a.max {
+		w := a.q[0]
+		a.q = a.q[1:]
+		a.cur += w.units
+		close(w.ready)
+	}
+	a.mu.Unlock()
+}
+
+// inFlight returns the units currently held.
+func (a *admission) inFlight() int64 {
+	a.mu.Lock()
+	v := a.cur
+	a.mu.Unlock()
+	return v
+}
+
+// bucket is a token-bucket request-rate limiter. A nil bucket allows
+// everything.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64) *bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+func (b *bucket) allow() bool {
+	if b == nil {
+		return true
+	}
+	now := time.Now()
+	b.mu.Lock()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < 1 {
+		b.mu.Unlock()
+		return false
+	}
+	b.tokens--
+	b.mu.Unlock()
+	return true
+}

@@ -1,0 +1,254 @@
+// Package coalesce merges small concurrent closed-form pricing requests
+// into SOA mega-batches. Throughput of the Advanced Black-Scholes engine
+// grows with batch size (amortized VML chunks, one parallel region per
+// batch instead of one per request), so the server trades a bounded
+// coalescing delay — first ticket arms a window timer; the batch flushes
+// at the timer or as soon as a size threshold is reached — for a much
+// larger effective batch.
+//
+// Correctness rests on composition independence: the LevelAdvanced engine
+// is purely elementwise, so pricing a request inside a mega-batch is
+// bit-identical to pricing it alone (pinned by
+// TestAdvancedCompositionIndependence at the repo root). Methods whose
+// results depend on batch decomposition (Monte Carlo's per-worker RNG
+// streams) must never be coalesced and are priced per-request by the
+// server instead.
+package coalesce // finlint:hot — the submit/flush path runs per request; allocation-free loops enforced by internal/lint
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finbench"
+)
+
+// Ticket is one request's slice of a future mega-batch. The caller fills
+// the input slices; after Price returns, Calls and Puts view the priced
+// mega-batch rows for this ticket (valid until the ticket is dropped).
+type Ticket struct {
+	Spots, Strikes, Expiries []float64
+	// Deadline bounds the flush that prices this ticket; zero means none.
+	Deadline time.Time
+
+	// Calls and Puts are set by the flush on success.
+	Calls, Puts []float64
+	// BatchN is the size of the mega-batch this ticket was priced in.
+	BatchN int
+	// Coalesced reports whether other tickets shared the flush.
+	Coalesced bool
+	// Err is the flush error (context cancellation), if any.
+	Err error
+
+	done chan struct{}
+}
+
+// Stats is a snapshot of the coalescer's counters.
+type Stats struct {
+	// Flushes counts mega-batch pricings; SoloFlushes the subset that
+	// contained a single ticket.
+	Flushes, SoloFlushes uint64
+	// CoalescedTickets counts tickets that shared a flush with at least
+	// one other ticket; BatchedOptions sums options across all flushes.
+	CoalescedTickets, BatchedOptions uint64
+}
+
+// Coalescer accumulates tickets and flushes them as one batch.
+type Coalescer struct {
+	mkt      finbench.Market
+	window   time.Duration
+	maxBatch int
+	// profileEvery samples the op mix of every Nth flush via
+	// finbench.ProfileBatch (0 disables).
+	profileEvery uint64
+
+	mu         sync.Mutex
+	pending    []*Ticket
+	pendingN   int
+	timer      *time.Timer
+	timerArmed bool
+	closed     bool
+
+	flushes, solo, coalesced, batched atomic.Uint64
+
+	profMu sync.Mutex
+	prof   finbench.OperationMix
+}
+
+// New builds a coalescer pricing against mkt. window is the maximum time
+// the first ticket of a batch waits; maxBatch flushes early once that many
+// options are pending. profileEvery samples the op mix of every Nth flush
+// (0 disables sampling).
+func New(mkt finbench.Market, window time.Duration, maxBatch int, profileEvery int) *Coalescer {
+	c := &Coalescer{mkt: mkt, window: window, maxBatch: maxBatch}
+	if profileEvery > 0 {
+		c.profileEvery = uint64(profileEvery)
+	}
+	c.timer = time.AfterFunc(time.Hour, c.onTimer)
+	c.timer.Stop()
+	return c
+}
+
+// Price submits the ticket and blocks until its batch is flushed. It
+// returns the ticket's error (nil on success). Concurrent callers are
+// merged into the same batch when they arrive within the window.
+func (c *Coalescer) Price(t *Ticket) error {
+	t.done = make(chan struct{})
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		t.Err = context.Canceled
+		return t.Err
+	}
+	c.pending = append(c.pending, t)
+	c.pendingN += len(t.Spots)
+	if c.pendingN >= c.maxBatch {
+		batch := c.takeLocked()
+		c.mu.Unlock()
+		// The submitter whose ticket crossed the threshold prices the
+		// batch on its own goroutine (no handoff latency).
+		c.flush(batch)
+	} else {
+		if !c.timerArmed {
+			c.timerArmed = true
+			c.timer.Reset(c.window)
+		}
+		c.mu.Unlock()
+	}
+	<-t.done
+	return t.Err
+}
+
+// Flush prices whatever is pending immediately (drain path).
+func (c *Coalescer) Flush() {
+	c.mu.Lock()
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	if len(batch) > 0 {
+		c.flush(batch)
+	}
+}
+
+// Close stops the timer and fails all pending tickets. The coalescer
+// accepts no further tickets.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	c.closed = true
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	for _, t := range batch {
+		t.Err = context.Canceled
+		close(t.done)
+	}
+}
+
+// Snapshot returns the current counters.
+func (c *Coalescer) Snapshot() Stats {
+	return Stats{
+		Flushes:          c.flushes.Load(),
+		SoloFlushes:      c.solo.Load(),
+		CoalescedTickets: c.coalesced.Load(),
+		BatchedOptions:   c.batched.Load(),
+	}
+}
+
+// OpMix returns the accumulated sampled operation mix.
+func (c *Coalescer) OpMix() finbench.OperationMix {
+	c.profMu.Lock()
+	out := c.prof
+	c.profMu.Unlock()
+	return out
+}
+
+func (c *Coalescer) onTimer() {
+	c.mu.Lock()
+	c.timerArmed = false
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	if len(batch) > 0 {
+		c.flush(batch)
+	}
+}
+
+// takeLocked detaches the pending batch. Caller holds c.mu.
+func (c *Coalescer) takeLocked() []*Ticket {
+	batch := c.pending
+	c.pending = nil
+	c.pendingN = 0
+	return batch
+}
+
+// flush prices the batch as one SOA mega-batch and distributes results.
+func (c *Coalescer) flush(batch []*Ticket) {
+	n := 0
+	var latest time.Time
+	bounded := true
+	for _, t := range batch {
+		n += len(t.Spots)
+		if t.Deadline.IsZero() {
+			bounded = false
+		} else if t.Deadline.After(latest) {
+			latest = t.Deadline
+		}
+	}
+	mega := finbench.NewBatch(n)
+	lo := 0
+	for _, t := range batch {
+		copy(mega.Spots[lo:], t.Spots)
+		copy(mega.Strikes[lo:], t.Strikes)
+		copy(mega.Expiries[lo:], t.Expiries)
+		lo += len(t.Spots)
+	}
+	// The flush deadline is the latest ticket deadline: when it fires,
+	// every ticket in the batch has expired, so failing them all is
+	// exact, not collateral damage.
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if bounded {
+		ctx, cancel = context.WithDeadline(ctx, latest)
+	}
+	err := finbench.PriceBatchCtx(ctx, mega, c.mkt, finbench.LevelAdvanced)
+	if cancel != nil {
+		cancel()
+	}
+
+	flushIdx := c.flushes.Add(1)
+	c.batched.Add(uint64(n))
+	if len(batch) == 1 {
+		c.solo.Add(1)
+	} else {
+		c.coalesced.Add(uint64(len(batch)))
+	}
+	if err == nil && c.profileEvery > 0 && flushIdx%c.profileEvery == 1 {
+		c.profile(mega)
+	}
+
+	lo = 0
+	for _, t := range batch {
+		hi := lo + len(t.Spots)
+		if err != nil {
+			t.Err = err
+		} else {
+			t.Calls = mega.Calls[lo:hi]
+			t.Puts = mega.Puts[lo:hi]
+			t.BatchN = n
+			t.Coalesced = len(batch) > 1
+		}
+		lo = hi
+		close(t.done)
+	}
+}
+
+// profile re-prices the flushed batch with counters on (bit-identical
+// writes) and folds the mix into the running profile. Called on a sampled
+// subset of flushes; the doubled work is the observability budget.
+func (c *Coalescer) profile(mega *finbench.Batch) {
+	mix, err := finbench.ProfileBatch(mega, c.mkt, finbench.LevelAdvanced, 8)
+	if err != nil {
+		return
+	}
+	c.profMu.Lock()
+	c.prof.Merge(mix)
+	c.profMu.Unlock()
+}

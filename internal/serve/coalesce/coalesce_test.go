@@ -1,0 +1,197 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"finbench"
+)
+
+var testMkt = finbench.Market{Rate: 0.02, Volatility: 0.3}
+
+func mkTicket(rng *rand.Rand, n int) *Ticket {
+	t := &Ticket{
+		Spots:    make([]float64, n),
+		Strikes:  make([]float64, n),
+		Expiries: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Spots[i] = 50 + 100*rng.Float64()
+		t.Strikes[i] = 50 + 100*rng.Float64()
+		t.Expiries[i] = 0.1 + 3*rng.Float64()
+	}
+	return t
+}
+
+// priceDirect prices a ticket's options alone through the same engine; by
+// composition independence this must bit-match whatever mega-batch the
+// coalescer placed them in.
+func priceDirect(t *testing.T, tk *Ticket) (calls, puts []float64) {
+	t.Helper()
+	n := len(tk.Spots)
+	b := finbench.NewBatch(n)
+	copy(b.Spots, tk.Spots)
+	copy(b.Strikes, tk.Strikes)
+	copy(b.Expiries, tk.Expiries)
+	if err := finbench.PriceBatch(b, testMkt, finbench.LevelAdvanced); err != nil {
+		t.Fatal(err)
+	}
+	return b.Calls, b.Puts
+}
+
+func TestCoalescerMergesConcurrentTickets(t *testing.T) {
+	c := New(testMkt, 20*time.Millisecond, 1<<20, 0)
+	defer c.Close()
+
+	const clients = 8
+	tickets := make([]*Ticket, clients)
+	for i := range tickets {
+		tickets[i] = mkTicket(rand.New(rand.NewSource(int64(i)+1)), 16+i)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := range tickets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Price(tickets[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+	}
+	anyCoalesced := false
+	for i, tk := range tickets {
+		anyCoalesced = anyCoalesced || tk.Coalesced
+		wantCalls, wantPuts := priceDirect(t, tk)
+		for j := range wantCalls {
+			if tk.Calls[j] != wantCalls[j] || tk.Puts[j] != wantPuts[j] {
+				t.Fatalf("ticket %d option %d: coalesced (%v,%v) != direct (%v,%v)",
+					i, j, tk.Calls[j], tk.Puts[j], wantCalls[j], wantPuts[j])
+			}
+		}
+	}
+	if !anyCoalesced {
+		t.Error("no ticket coalesced despite 8 concurrent submitters in a 20ms window")
+	}
+	snap := c.Snapshot()
+	if snap.Flushes == 0 || snap.BatchedOptions == 0 {
+		t.Errorf("counters not advancing: %+v", snap)
+	}
+}
+
+func TestCoalescerThresholdFlushesInline(t *testing.T) {
+	c := New(testMkt, time.Hour, 32, 0) // timer would never fire
+	defer c.Close()
+	tk := mkTicket(rand.New(rand.NewSource(9)), 40)
+	if err := c.Price(tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.BatchN != 40 || tk.Coalesced {
+		t.Errorf("BatchN=%d Coalesced=%v, want solo 40", tk.BatchN, tk.Coalesced)
+	}
+	if snap := c.Snapshot(); snap.SoloFlushes != 1 {
+		t.Errorf("solo flushes = %d, want 1", snap.SoloFlushes)
+	}
+}
+
+func TestCoalescerExpiredDeadlineFailsBatch(t *testing.T) {
+	c := New(testMkt, time.Millisecond, 1<<20, 0)
+	defer c.Close()
+	tk := mkTicket(rand.New(rand.NewSource(3)), 8)
+	tk.Deadline = time.Now().Add(-time.Second)
+	err := c.Price(tk)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestCoalescerCloseFailsPending(t *testing.T) {
+	c := New(testMkt, time.Hour, 1<<20, 0)
+	tk := mkTicket(rand.New(rand.NewSource(4)), 4)
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Price(tk) }()
+	// Wait until the ticket is pending, then close underneath it.
+	for {
+		c.mu.Lock()
+		n := len(c.pending)
+		c.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if err := c.Price(mkTicket(rand.New(rand.NewSource(5)), 2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-close submit: %v, want canceled", err)
+	}
+}
+
+// TestCoalescerStress hammers Price/Flush/Snapshot/OpMix concurrently; its
+// real assertions come from the race detector (this package is in the
+// check.sh race list) plus per-ticket bit-verification.
+func TestCoalescerStress(t *testing.T) {
+	c := New(testMkt, 500*time.Microsecond, 512, 4)
+	defer c.Close()
+
+	const (
+		workers = 8
+		rounds  = 30
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			for r := 0; r < rounds; r++ {
+				tk := mkTicket(rng, 1+rng.Intn(64))
+				if err := c.Price(tk); err != nil {
+					t.Errorf("worker %d round %d: %v", w, r, err)
+					return
+				}
+				wantCalls, _ := priceDirect(t, tk)
+				for j := range wantCalls {
+					if tk.Calls[j] != wantCalls[j] {
+						t.Errorf("worker %d round %d option %d mismatch", w, r, j)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				c.Flush()
+				_ = c.Snapshot()
+				_ = c.OpMix()
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	snap := c.Snapshot()
+	if snap.Flushes == 0 {
+		t.Error("no flushes recorded")
+	}
+	if got := snap.SoloFlushes + snap.CoalescedTickets; got == 0 {
+		t.Errorf("ticket accounting empty: %+v", snap)
+	}
+}

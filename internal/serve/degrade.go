@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"finbench"
+)
+
+// Degrade mode. When the shed rate over a sliding window crosses a high
+// watermark the server switches to cheaper effective parameters (fewer
+// Monte Carlo paths, closed form instead of lattices for European
+// options) instead of shedding ever harder; it switches back once the
+// shed rate falls below a low watermark (hysteresis prevents flapping).
+// Every degraded response reports the substituted method/config, so
+// clients always know — and can reproduce — what they actually got.
+
+const (
+	degradeWindow     = 250 * time.Millisecond
+	degradeHighWater  = 0.10 // shed fraction that turns degrade on
+	degradeLowWater   = 0.02 // shed fraction that turns it back off
+	degradeMinSamples = 20   // ignore windows with fewer outcomes
+
+	// degradeMCPathDiv and the floors bound how far degrade cuts.
+	degradeMCPathDiv    = 8
+	degradeMCPathFloor  = 4096
+	degradeLatticeDiv   = 4
+	degradeStepsFloor   = 64
+	degradeTimeStepsMin = 50
+)
+
+// degrader tracks admit/shed outcomes and flips the degraded bit.
+type degrader struct {
+	enabled bool
+	on      atomic.Bool
+	flips   atomic.Uint64
+
+	admitted atomic.Uint64 // current window
+	shed     atomic.Uint64
+
+	stop chan struct{}
+}
+
+func newDegrader(enabled bool) *degrader {
+	d := &degrader{enabled: enabled, stop: make(chan struct{})}
+	if enabled {
+		go d.loop()
+	}
+	return d
+}
+
+func (d *degrader) loop() {
+	t := time.NewTicker(degradeWindow)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			d.evaluate()
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// evaluate closes the current window and updates the degraded bit.
+// Exported to tests through the package; the ticker calls it in
+// production.
+func (d *degrader) evaluate() {
+	adm := d.admitted.Swap(0)
+	sh := d.shed.Swap(0)
+	total := adm + sh
+	if total < degradeMinSamples {
+		return
+	}
+	rate := float64(sh) / float64(total)
+	if rate >= degradeHighWater {
+		if !d.on.Swap(true) {
+			d.flips.Add(1)
+		}
+	} else if rate <= degradeLowWater {
+		if d.on.Swap(false) {
+			d.flips.Add(1)
+		}
+	}
+}
+
+func (d *degrader) noteAdmit() { d.admitted.Add(1) }
+func (d *degrader) noteShed()  { d.shed.Add(1) }
+
+// active reports whether degraded parameters should be used.
+func (d *degrader) active() bool { return d.enabled && d.on.Load() }
+
+func (d *degrader) close() {
+	if d.enabled {
+		close(d.stop)
+	}
+}
+
+// applyDegrade substitutes cheaper effective parameters. allEuropean
+// reports whether every option in the request is European (lattice
+// methods then collapse to the closed form; American options keep their
+// method with coarser grids). The returned method/config are what the
+// response reports.
+func applyDegrade(method finbench.Method, cfg finbench.Config, allEuropean bool) (finbench.Method, finbench.Config) {
+	switch method {
+	case finbench.MonteCarlo:
+		p := cfg.MCPaths / degradeMCPathDiv
+		if p < degradeMCPathFloor {
+			p = degradeMCPathFloor
+		}
+		if p < cfg.MCPaths {
+			cfg.MCPaths = p
+		}
+	case finbench.BinomialTree, finbench.TrinomialTree:
+		if allEuropean {
+			return finbench.ClosedForm, cfg
+		}
+		s := cfg.BinomialSteps / degradeLatticeDiv
+		if s < degradeStepsFloor {
+			s = degradeStepsFloor
+		}
+		if s < cfg.BinomialSteps {
+			cfg.BinomialSteps = s
+		}
+	case finbench.FiniteDifference:
+		if allEuropean {
+			return finbench.ClosedForm, cfg
+		}
+		ts := cfg.TimeSteps / degradeLatticeDiv
+		if ts < degradeTimeStepsMin {
+			ts = degradeTimeStepsMin
+		}
+		if ts < cfg.TimeSteps {
+			cfg.TimeSteps = ts
+		}
+	}
+	return method, cfg
+}

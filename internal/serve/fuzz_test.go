@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeRequest fuzzes the wire decoder: arbitrary bytes must either
+// produce an error or a request satisfying every invariant the handlers
+// rely on (bounded option count, finite positive parameters, known
+// method/type/style combinations, non-negative deadline and config).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"options":[{"type":"call","spot":100,"strike":105,"expiry":0.5}]}`))
+	f.Add([]byte(`{"method":"monte-carlo","options":[{"spot":90,"strike":100,"expiry":1}],"config":{"mc_paths":16384,"seed":7},"deadline_ms":250}`))
+	f.Add([]byte(`{"method":"binomial-tree","options":[{"type":"put","style":"american","spot":100,"strike":110,"expiry":1}],"config":{"binomial_steps":512}}`))
+	f.Add([]byte(`{"options":[{"spot":1e308,"strike":1e-308,"expiry":3}]}`))
+	f.Add([]byte(`{"options":[]}`))
+	f.Add([]byte(`{"options":[{"spot":-1,"strike":0,"expiry":0}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"method":"quantum","options":[{"spot":1,"strike":1,"expiry":1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("error with non-nil request")
+			}
+			return
+		}
+		if n := len(req.Options); n == 0 || n > MaxRequestOptions {
+			t.Fatalf("accepted request with %d options", n)
+		}
+		method, merr := ParseMethod(req.Method)
+		if merr != nil {
+			t.Fatalf("accepted unknown method %q", req.Method)
+		}
+		if req.DeadlineMS < 0 {
+			t.Fatalf("accepted negative deadline %d", req.DeadlineMS)
+		}
+		if req.Config.BinomialSteps < 0 || req.Config.GridPoints < 0 ||
+			req.Config.TimeSteps < 0 || req.Config.MCPaths < 0 {
+			t.Fatalf("accepted negative config %+v", req.Config)
+		}
+		for i := range req.Options {
+			o := &req.Options[i]
+			switch o.Type {
+			case "", "call", "put":
+			default:
+				t.Fatalf("accepted option type %q", o.Type)
+			}
+			switch o.Style {
+			case "", "european", "american":
+			default:
+				t.Fatalf("accepted exercise style %q", o.Style)
+			}
+			for _, v := range [3]float64{o.Spot, o.Strike, o.Expiry} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+					t.Fatalf("accepted option %d with parameter %v", i, v)
+				}
+			}
+			if o.Style == "american" && (method == 0 || req.Method == "monte-carlo") {
+				t.Fatalf("accepted American option for European-only method %q", req.Method)
+			}
+			// Validated options must convert cleanly.
+			_ = o.ToOption()
+		}
+	})
+}

@@ -1,0 +1,460 @@
+// Package loadgen drives a finserve instance with a configurable request
+// mix and verifies the protocol's guarantees from the outside: every 200
+// must bit-match the library when recomputed from the effective
+// method/config the response reports, overload must answer with 503/429
+// (never another 5xx), and cancelled work must stop reaching the parallel
+// pool (the scheduler counters in /statsz freeze). The e2e smoke gate is
+// this package plus a shell script; all assertions live here so the
+// script needs no JSON tooling.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finbench"
+	"finbench/internal/serve"
+)
+
+// Options configures a load-generation run.
+type Options struct {
+	// BaseURL is the server root, e.g. http://127.0.0.1:8123.
+	BaseURL string
+	// Concurrency is the number of client workers (default 4).
+	Concurrency int
+	// Requests is the total request budget across workers (default 64).
+	Requests int
+	// Mix maps wire method names (plus "greeks") to integer weights.
+	// Empty means closed-form only.
+	Mix map[string]int
+	// OptionsPerRequest is the batch size of each request (default 8).
+	OptionsPerRequest int
+	// DeadlineMS is sent as deadline_ms when > 0.
+	DeadlineMS int64
+	// Config overrides the numeric parameters sent with each request.
+	Config serve.WireConfig
+	// Verify recomputes every 200 response against the library and counts
+	// mismatches.
+	Verify bool
+	// Seed makes the generated option stream reproducible (default 1).
+	Seed int64
+	// Timeout bounds each HTTP request (default 60s).
+	Timeout time.Duration
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Requests  int            `json:"requests"`
+	Codes     map[int]int    `json:"codes"`
+	Errors    map[string]int `json:"errors,omitempty"`
+	Verified  int            `json:"verified"`
+	Mismatch  int            `json:"mismatch"`
+	Coalesced int            `json:"coalesced"`
+	Degraded  int            `json:"degraded"`
+	ElapsedMS int64          `json:"elapsed_ms"`
+}
+
+// Count returns the number of responses with the given status code.
+func (r *Report) Count(code int) int { return r.Codes[code] }
+
+// String renders the report for logs.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests=%d elapsed=%dms", r.Requests, r.ElapsedMS)
+	codes := make([]int, 0, len(r.Codes))
+	for c := range r.Codes {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, " %d=%d", c, r.Codes[c])
+	}
+	if r.Verified > 0 || r.Mismatch > 0 {
+		fmt.Fprintf(&b, " verified=%d mismatch=%d", r.Verified, r.Mismatch)
+	}
+	if r.Coalesced > 0 {
+		fmt.Fprintf(&b, " coalesced=%d", r.Coalesced)
+	}
+	if r.Degraded > 0 {
+		fmt.Fprintf(&b, " degraded=%d", r.Degraded)
+	}
+	for e, n := range r.Errors {
+		fmt.Fprintf(&b, " err[%s]=%d", e, n)
+	}
+	return b.String()
+}
+
+func (o Options) withDefaults() Options {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Requests <= 0 {
+		o.Requests = 64
+	}
+	if o.OptionsPerRequest <= 0 {
+		o.OptionsPerRequest = 8
+	}
+	if len(o.Mix) == 0 {
+		o.Mix = map[string]int{"closed-form": 1}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	return o
+}
+
+// mixTable flattens weights into a lookup slice for cheap sampling.
+func mixTable(mix map[string]int) []string {
+	names := make([]string, 0, len(mix))
+	for name := range mix {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic order for a given seed
+	var table []string
+	for _, name := range names {
+		for i := 0; i < mix[name]; i++ {
+			table = append(table, name)
+		}
+	}
+	if len(table) == 0 {
+		table = []string{"closed-form"}
+	}
+	return table
+}
+
+// Run executes the load and returns the aggregate report.
+func Run(o Options) (*Report, error) {
+	o = o.withDefaults()
+	table := mixTable(o.Mix)
+	client := &http.Client{Timeout: o.Timeout}
+
+	var (
+		mu     sync.Mutex
+		rep    = &Report{Codes: make(map[int]int), Errors: make(map[string]int)}
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		market = finbench.Market{Rate: 0.02, Volatility: 0.3}
+	)
+	start := time.Now()
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(w)*104729))
+			for {
+				i := next.Add(1)
+				if i > int64(o.Requests) {
+					return
+				}
+				method := table[rng.Intn(len(table))]
+				code, outcome, err := o.doRequest(client, rng, method, market)
+				mu.Lock()
+				rep.Requests++
+				if err != nil {
+					rep.Errors[errKey(err)]++
+				} else {
+					rep.Codes[code]++
+					rep.Verified += outcome.verified
+					rep.Mismatch += outcome.mismatch
+					rep.Coalesced += outcome.coalesced
+					rep.Degraded += outcome.degraded
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep.ElapsedMS = time.Since(start).Milliseconds()
+	return rep, nil
+}
+
+type reqOutcome struct {
+	verified, mismatch, coalesced, degraded int
+}
+
+// errKey buckets transport errors coarsely so the report stays readable.
+func errKey(err error) string {
+	s := err.Error()
+	switch {
+	case strings.Contains(s, "connection refused"):
+		return "connection-refused"
+	case strings.Contains(s, "Client.Timeout"):
+		return "client-timeout"
+	case strings.Contains(s, "EOF"):
+		return "eof"
+	default:
+		return "other"
+	}
+}
+
+func (o Options) doRequest(client *http.Client, rng *rand.Rand, method string, mkt finbench.Market) (int, reqOutcome, error) {
+	var out reqOutcome
+	if method == "greeks" {
+		return o.doGreeks(client, rng, mkt)
+	}
+	req := serve.PriceRequest{
+		Method:     method,
+		Options:    randomOptions(rng, o.OptionsPerRequest, method),
+		Config:     o.Config,
+		DeadlineMS: o.DeadlineMS,
+	}
+	if method == "closed-form" {
+		req.Method = "" // exercise the default path too
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return 0, out, err
+	}
+	resp, err := client.Post(o.BaseURL+"/price", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, out, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return 0, out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, out, nil
+	}
+	var pr serve.PriceResponse
+	if err := json.Unmarshal(buf.Bytes(), &pr); err != nil {
+		return resp.StatusCode, out, fmt.Errorf("decoding 200 body: %w", err)
+	}
+	if pr.Coalesced {
+		out.coalesced = 1
+	}
+	if pr.Degraded {
+		out.degraded = 1
+	}
+	if o.Verify {
+		v, m := verifyResponse(&req, &pr, mkt)
+		out.verified, out.mismatch = v, m
+	}
+	return resp.StatusCode, out, nil
+}
+
+func (o Options) doGreeks(client *http.Client, rng *rand.Rand, mkt finbench.Market) (int, reqOutcome, error) {
+	var out reqOutcome
+	req := serve.GreeksRequest{Options: randomOptions(rng, o.OptionsPerRequest, "greeks")}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return 0, out, err
+	}
+	resp, err := client.Post(o.BaseURL+"/greeks", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, out, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return 0, out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, out, nil
+	}
+	if !o.Verify {
+		return resp.StatusCode, out, nil
+	}
+	var gr serve.GreeksResponse
+	if err := json.Unmarshal(buf.Bytes(), &gr); err != nil {
+		return resp.StatusCode, out, fmt.Errorf("decoding greeks body: %w", err)
+	}
+	for i := range req.Options {
+		wo := &req.Options[i]
+		g, err := finbench.ComputeGreeks(wo.ToOption(), mkt)
+		if err != nil {
+			out.mismatch++
+			continue
+		}
+		want := g.DeltaCall
+		if wo.Type == "put" {
+			want = g.DeltaPut
+		}
+		// finlint:ignore floateq bit-reproducibility is the protocol guarantee under test
+		if i < len(gr.Results) && gr.Results[i].Delta == want && gr.Results[i].Gamma == g.Gamma {
+			out.verified++
+		} else {
+			out.mismatch++
+		}
+	}
+	return resp.StatusCode, out, nil
+}
+
+// randomOptions draws plausible contracts. Lattice methods get a share of
+// American puts; European-only methods stay European.
+func randomOptions(rng *rand.Rand, n int, method string) []serve.WireOption {
+	opts := make([]serve.WireOption, n)
+	for i := range opts {
+		o := &opts[i]
+		o.Spot = 50 + 100*rng.Float64()
+		o.Strike = 50 + 100*rng.Float64()
+		o.Expiry = 0.1 + 3*rng.Float64()
+		if rng.Intn(2) == 1 {
+			o.Type = "put"
+		}
+		switch method {
+		case "binomial-tree", "crank-nicolson", "trinomial-tree":
+			if o.Type == "put" && rng.Intn(2) == 1 {
+				o.Style = "american"
+			}
+		}
+	}
+	return opts
+}
+
+// verifyResponse recomputes every result from the *effective*
+// method/config in the response. Closed-form goes through a 1-option
+// LevelAdvanced batch — composition independence makes that equal to
+// whatever mega-batch the server coalesced the request into; everything
+// else goes through finbench.Price.
+func verifyResponse(req *serve.PriceRequest, resp *serve.PriceResponse, mkt finbench.Market) (verified, mismatch int) {
+	method, err := serve.ParseMethod(resp.Method)
+	if err != nil || len(resp.Results) != len(req.Options) {
+		return 0, len(req.Options)
+	}
+	cfg := resp.Config.ToConfig()
+	for i := range req.Options {
+		o := &req.Options[i]
+		var want, wantStdErr float64
+		if method == finbench.ClosedForm {
+			b := finbench.NewBatch(1)
+			b.Spots[0], b.Strikes[0], b.Expiries[0] = o.Spot, o.Strike, o.Expiry
+			if err := finbench.PriceBatch(b, mkt, finbench.LevelAdvanced); err != nil {
+				mismatch++
+				continue
+			}
+			if o.Type == "put" {
+				want = b.Puts[0]
+			} else {
+				want = b.Calls[0]
+			}
+		} else {
+			res, err := finbench.Price(o.ToOption(), mkt, method, &cfg)
+			if err != nil {
+				mismatch++
+				continue
+			}
+			want, wantStdErr = res.Price, res.StdErr
+		}
+		// finlint:ignore floateq bit-reproducibility is the protocol guarantee under test
+		if resp.Results[i].Price == want && resp.Results[i].StdErr == wantStdErr {
+			verified++
+		} else {
+			mismatch++
+		}
+	}
+	return verified, mismatch
+}
+
+// SchedFrozen reads /statsz twice, gap apart, and reports whether the
+// parallel pool's scheduler counters advanced in between. After a burst of
+// sub-deadline requests has been cancelled, a frozen scheduler proves the
+// cancelled work actually stopped consuming the pool.
+func SchedFrozen(baseURL string, gap time.Duration) (bool, string, error) {
+	first, err := fetchSched(baseURL)
+	if err != nil {
+		return false, "", err
+	}
+	time.Sleep(gap)
+	second, err := fetchSched(baseURL)
+	if err != nil {
+		return false, "", err
+	}
+	var moved []string
+	for k, v2 := range second {
+		if v1, ok := first[k]; ok && v2 != v1 {
+			moved = append(moved, k+":"+strconv.FormatUint(v2-v1, 10))
+		}
+	}
+	sort.Strings(moved)
+	return len(moved) == 0, strings.Join(moved, ","), nil
+}
+
+func fetchSched(baseURL string) (map[string]uint64, error) {
+	resp, err := http.Get(baseURL + "/statsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap serve.StatszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return snap.Sched, nil
+}
+
+// ParseMix parses "closed-form=8,monte-carlo=1" into a weight map.
+func ParseMix(s string) (map[string]int, error) {
+	mix := make(map[string]int)
+	if s == "" {
+		return mix, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, weight, found := strings.Cut(part, "=")
+		w := 1
+		if found {
+			var err error
+			w, err = strconv.Atoi(weight)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("bad mix weight %q", part)
+			}
+		}
+		switch name {
+		case "closed-form", "binomial-tree", "crank-nicolson", "monte-carlo", "trinomial-tree", "greeks":
+		default:
+			return nil, fmt.Errorf("unknown mix method %q", name)
+		}
+		mix[name] = w
+	}
+	return mix, nil
+}
+
+// ParseCounts parses "200:40,503:1" into minimum-count requirements.
+func ParseCounts(s string) (map[int]int, error) {
+	out := make(map[int]int)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		code, count, found := strings.Cut(part, ":")
+		if !found {
+			return nil, fmt.Errorf("bad count spec %q", part)
+		}
+		c, err1 := strconv.Atoi(code)
+		n, err2 := strconv.Atoi(count)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad count spec %q", part)
+		}
+		out[c] = n
+	}
+	return out, nil
+}
+
+// ParseCodes parses "200,429,503" into an allow-set.
+func ParseCodes(s string) (map[int]bool, error) {
+	out := make(map[int]bool)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad code %q", part)
+		}
+		out[c] = true
+	}
+	return out, nil
+}

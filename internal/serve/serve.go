@@ -1,0 +1,462 @@
+// Package serve is the concurrent batch-pricing server over the finbench
+// library: an HTTP/JSON front end that coalesces small concurrent
+// closed-form requests into SOA mega-batches, propagates client deadlines
+// into the pricing kernels (cancelled work stops consuming the parallel
+// pool at chunk granularity), sheds load at the door when a bounded
+// in-flight work budget is exhausted, and optionally degrades to cheaper
+// effective parameters under sustained overload. Every 200 response is
+// bit-reproducible from the effective method/config it reports.
+//
+// Endpoints: POST /price, POST /greeks, GET /statsz, GET /healthz.
+// Status codes: 400 malformed, 404/405 routing, 408 deadline exceeded,
+// 429 rate-limited, 503 shed or draining (with Retry-After).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"finbench"
+	"finbench/internal/serve/coalesce"
+)
+
+// Config tunes the server. Zero values select the defaults.
+type Config struct {
+	// Market is the flat market every request prices against.
+	Market finbench.Market
+
+	// MaxUnits bounds the in-flight work units (1 unit ~ one closed-form
+	// option); default 4M. AdmitWait is the longest a request waits for
+	// admission before being shed with 503; default 2ms.
+	MaxUnits  int64
+	AdmitWait time.Duration
+
+	// Rate and Burst configure the token-bucket request-rate limiter
+	// (requests/second); Rate 0 disables it.
+	Rate, Burst float64
+
+	// CoalesceWindow is the longest the first request of a batch waits
+	// for company (default 250us); CoalesceMaxBatch flushes early at that
+	// many pending options (default 16384). Requests at least
+	// CoalesceMaxBatch options large bypass the coalescer.
+	CoalesceWindow   time.Duration
+	CoalesceMaxBatch int
+
+	// ProfileEvery samples the op mix of every Nth coalesced flush
+	// (default 64; negative disables).
+	ProfileEvery int
+
+	// MaxOptions bounds options per request (default 262144). MaxPaths
+	// caps per-request Monte Carlo paths (default 2^22).
+	MaxOptions int
+	MaxPaths   int
+
+	// MaxDeadline caps client deadlines and bounds requests that supply
+	// none; default 30s.
+	MaxDeadline time.Duration
+
+	// Degrade enables degrade mode under sustained shedding.
+	Degrade bool
+}
+
+func (c Config) withDefaults() Config {
+	// finlint:ignore floateq zero is the untouched-field sentinel, never a computed value
+	if c.Market.Volatility == 0 {
+		c.Market = finbench.Market{Rate: 0.02, Volatility: 0.3}
+	}
+	if c.MaxUnits <= 0 {
+		c.MaxUnits = 4 << 20
+	}
+	if c.AdmitWait <= 0 {
+		c.AdmitWait = 2 * time.Millisecond
+	}
+	if c.CoalesceWindow <= 0 {
+		c.CoalesceWindow = 250 * time.Microsecond
+	}
+	if c.CoalesceMaxBatch <= 0 {
+		c.CoalesceMaxBatch = 16384
+	}
+	if c.ProfileEvery == 0 {
+		c.ProfileEvery = 64
+	}
+	if c.ProfileEvery < 0 {
+		c.ProfileEvery = 0
+	}
+	if c.MaxOptions <= 0 {
+		c.MaxOptions = 262144
+	}
+	if c.MaxPaths <= 0 {
+		c.MaxPaths = 1 << 22
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	return c
+}
+
+// Server prices option batches over HTTP.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	stats *stats
+	adm   *admission
+	deg   *degrader
+	co    *coalesce.Coalescer
+	rate  *bucket // nil when rate limiting is disabled
+
+	draining atomic.Bool
+}
+
+// New builds a server. Call Close when done (stops the degrade ticker and
+// the coalescer timer).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		stats: newStats(),
+		adm:   newAdmission(cfg.MaxUnits),
+		deg:   newDegrader(cfg.Degrade),
+		co:    coalesce.New(cfg.Market, cfg.CoalesceWindow, cfg.CoalesceMaxBatch, cfg.ProfileEvery),
+		rate:  newBucket(cfg.Rate, cfg.Burst),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/price", s.handlePrice)
+	mux.HandleFunc("/greeks", s.handleGreeks)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler (a 404-counting wrapper around the
+// mux).
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/price", "/greeks", "/statsz", "/healthz":
+		s.mux.ServeHTTP(w, r)
+	default:
+		s.writeError(w, http.StatusNotFound, "no such endpoint")
+	}
+}
+
+// Drain puts the server into draining mode (new work is refused with
+// 503), flushes the coalescer, and waits until in-flight work reaches
+// zero or ctx expires. Returns nil when fully drained.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.co.Flush()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.adm.inFlight() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close releases background resources. The server must not be used after.
+func (s *Server) Close() {
+	s.deg.close()
+	s.co.Close()
+}
+
+// maxBody bounds request bodies (an option is ~90 JSON bytes; 64MB covers
+// the largest permitted batch with slack).
+const maxBody = 64 << 20
+
+func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.stats.priceRequests.Add(1)
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		s.stats.shedDrain.Add(1)
+		s.writeShed(w, "server is draining")
+		return
+	}
+	if !s.rateAllow() {
+		s.stats.shedRate.Add(1)
+		s.writeError(w, http.StatusTooManyRequests, "request rate limit exceeded")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	req, err := DecodeRequest(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Options) > s.cfg.MaxOptions {
+		s.writeError(w, http.StatusBadRequest,
+			"too many options: "+strconv.Itoa(len(req.Options))+" > "+strconv.Itoa(s.cfg.MaxOptions))
+		return
+	}
+	method, _ := ParseMethod(req.Method)
+
+	// Resolve the effective numeric parameters: defaults, caps, then the
+	// degrade substitution. The response reports exactly these.
+	cfg := req.Config.ToConfig()
+	if cfg.MCPaths > s.cfg.MaxPaths {
+		cfg.MCPaths = s.cfg.MaxPaths
+	}
+	cfg = cfg.Resolved()
+	degraded := false
+	if s.deg.active() {
+		allEuro := allEuropean(req.Options)
+		dm, dc := applyDegrade(method, cfg, allEuro)
+		degraded = dm != method || dc != cfg
+		method, cfg = dm, dc
+	}
+
+	// Admission: acquire the request's work units or shed fast.
+	units, ok := s.adm.acquire(unitCost(method, cfg, len(req.Options)), s.cfg.AdmitWait)
+	if !ok {
+		s.deg.noteShed()
+		s.stats.shedAdmission.Add(1)
+		s.writeShed(w, "work budget exhausted")
+		return
+	}
+	s.deg.noteAdmit()
+	defer s.adm.release(units)
+
+	// Deadline: client's, capped by the server maximum.
+	deadline := s.cfg.MaxDeadline
+	if req.DeadlineMS > 0 {
+		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < deadline {
+			deadline = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	resp := PriceResponse{
+		Method:   method.String(),
+		Config:   wireFromConfig(cfg),
+		Degraded: degraded,
+	}
+	if method == finbench.ClosedForm {
+		err = s.priceClosedForm(ctx, req, &resp)
+	} else {
+		err = s.priceHeavy(ctx, req, method, cfg, &resp)
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.writeError(w, http.StatusRequestTimeout, "pricing deadline exceeded")
+		} else {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	if degraded {
+		s.stats.degradedResponses.Add(1)
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedUS = elapsed.Microseconds()
+	s.stats.observeLatency(method.String(), elapsed)
+	s.writeJSON(w, http.StatusOK, &resp)
+}
+
+// priceClosedForm prices via the SOA batch engine: small requests go
+// through the coalescer, large ones straight to the kernel. Either way
+// the engine is LevelAdvanced, so results are bit-identical regardless of
+// batching (composition independence).
+func (s *Server) priceClosedForm(ctx context.Context, req *PriceRequest, resp *PriceResponse) error {
+	n := len(req.Options)
+	t := &coalesce.Ticket{
+		Spots:    make([]float64, n),
+		Strikes:  make([]float64, n),
+		Expiries: make([]float64, n),
+	}
+	for i := range req.Options {
+		t.Spots[i] = req.Options[i].Spot
+		t.Strikes[i] = req.Options[i].Strike
+		t.Expiries[i] = req.Options[i].Expiry
+	}
+	if d, ok := ctx.Deadline(); ok {
+		t.Deadline = d
+	}
+	resp.Engine = "batch-advanced"
+	if n >= s.cfg.CoalesceMaxBatch {
+		// Bypass: already a mega-batch on its own.
+		b := &finbench.Batch{
+			Spots: t.Spots, Strikes: t.Strikes, Expiries: t.Expiries,
+			Calls: make([]float64, n), Puts: make([]float64, n),
+		}
+		if err := finbench.PriceBatchCtx(ctx, b, s.cfg.Market, finbench.LevelAdvanced); err != nil {
+			return err
+		}
+		t.Calls, t.Puts = b.Calls, b.Puts
+		t.BatchN = n
+	} else if err := s.co.Price(t); err != nil {
+		return err
+	}
+	resp.Coalesced = t.Coalesced
+	resp.BatchOptions = t.BatchN
+	resp.Results = make([]WireResult, n)
+	for i := range req.Options {
+		if req.Options[i].Type == "put" {
+			resp.Results[i].Price = t.Puts[i]
+		} else {
+			resp.Results[i].Price = t.Calls[i]
+		}
+	}
+	return nil
+}
+
+// priceHeavy prices per option through the cancellable scalar kernels.
+// These methods are never coalesced: Monte Carlo results depend on the
+// batch decomposition (per-worker RNG streams), and the lattice kernels
+// gain nothing from batching across requests.
+func (s *Server) priceHeavy(ctx context.Context, req *PriceRequest, method finbench.Method, cfg finbench.Config, resp *PriceResponse) error {
+	resp.Engine = "scalar"
+	resp.Results = make([]WireResult, len(req.Options))
+	for i := range req.Options {
+		res, err := finbench.PriceCtx(ctx, req.Options[i].ToOption(), s.cfg.Market, method, &cfg)
+		if err != nil {
+			return err
+		}
+		resp.Results[i].Price = res.Price
+		resp.Results[i].StdErr = res.StdErr
+	}
+	return nil
+}
+
+func (s *Server) handleGreeks(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.stats.greeksRequests.Add(1)
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		s.stats.shedDrain.Add(1)
+		s.writeShed(w, "server is draining")
+		return
+	}
+	if !s.rateAllow() {
+		s.stats.shedRate.Add(1)
+		s.writeError(w, http.StatusTooManyRequests, "request rate limit exceeded")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var req GreeksRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Options) == 0 || len(req.Options) > s.cfg.MaxOptions {
+		s.writeError(w, http.StatusBadRequest, "option count out of range")
+		return
+	}
+	units, ok := s.adm.acquire(int64(len(req.Options)), s.cfg.AdmitWait)
+	if !ok {
+		s.deg.noteShed()
+		s.stats.shedAdmission.Add(1)
+		s.writeShed(w, "work budget exhausted")
+		return
+	}
+	s.deg.noteAdmit()
+	defer s.adm.release(units)
+
+	var resp GreeksResponse
+	resp.Results = make([]WireGreeks, len(req.Options))
+	for i := range req.Options {
+		o := &req.Options[i]
+		if err := validateWireOption(o); err != nil {
+			s.writeError(w, http.StatusBadRequest, "option "+strconv.Itoa(i)+": "+err.Error())
+			return
+		}
+		g, err := finbench.ComputeGreeks(o.ToOption(), s.cfg.Market)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if o.Type == "put" {
+			resp.Results[i].Delta = g.DeltaPut
+			resp.Results[i].Theta = g.ThetaPut
+			resp.Results[i].Rho = g.RhoPut
+		} else {
+			resp.Results[i].Delta = g.DeltaCall
+			resp.Results[i].Theta = g.ThetaCall
+			resp.Results[i].Rho = g.RhoCall
+		}
+		resp.Results[i].Gamma = g.Gamma
+		resp.Results[i].Vega = g.Vega
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedUS = elapsed.Microseconds()
+	s.stats.observeLatency("greeks", elapsed)
+	s.writeJSON(w, http.StatusOK, &resp)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	snap := s.statszSnapshot()
+	s.writeJSON(w, http.StatusOK, &snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.stats.countCode(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) rateAllow() bool { return s.rate.allow() }
+
+func allEuropean(opts []WireOption) bool {
+	for i := range opts {
+		if opts[i].Style == "american" {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	s.stats.countCode(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	var e ErrorResponse
+	e.Error = msg
+	s.writeJSON(w, code, &e)
+}
+
+// writeShed is a 503 with Retry-After, the standard "come back later".
+func (s *Server) writeShed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	s.writeError(w, http.StatusServiceUnavailable, msg)
+}

@@ -5,7 +5,8 @@
 # fresh short-mode snapshot checked against the committed baseline
 # BENCH_0.json; see README "Continuous benchmarking"), the tier-1 test
 # suite, the race detector over the concurrency-heavy packages, the fuzz
-# seed corpora, and finlint (the custom static-analysis suite enforcing
+# seed corpora, the finserve e2e smoke gate (scripts/e2e_smoke.sh; see
+# README "Serving"), and finlint (the custom static-analysis suite enforcing
 # the kernel-safety invariants; see README "Static analysis & CI gate")
 # with its self-test.
 #
@@ -15,6 +16,12 @@
 #                                      # and fuzz stages (the slow ones)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Tool binaries (benchreg, finlint) are built once into a scratch dir and
+# reused — the benchreg retry path used to recompile via `go run`, which
+# both wasted time and added compile jitter to a timing-sensitive stage.
+TOOL_DIR="$(mktemp -d)"
+trap 'rm -rf "$TOOL_DIR"' EXIT
 
 echo "==> go vet ./..."
 go vet ./...
@@ -33,8 +40,9 @@ go build ./...
 # optimization) is far larger. One retry absorbs transient load spikes.
 # Refresh the baseline with:  go run ./cmd/benchreg run -short -o BENCH_0.json
 echo "==> benchreg gate: short snapshot vs committed baseline"
+go build -o "$TOOL_DIR/benchreg" ./cmd/benchreg
 bench_gate() {
-	go run ./cmd/benchreg check -baseline BENCH_0.json -short \
+	"$TOOL_DIR/benchreg" check -baseline BENCH_0.json -short \
 		-max-slowdown 0.35 -mad-factor 4
 }
 if ! bench_gate; then
@@ -47,7 +55,7 @@ echo "==> tier-1: go test ./..."
 go test -timeout 10m ./...
 
 if [[ "${CHECK_QUICK:-0}" == "1" ]]; then
-	echo "==> CHECK_QUICK=1: skipping race detector and fuzz seed stages"
+	echo "==> CHECK_QUICK=1: skipping race detector, fuzz seed and e2e smoke stages"
 else
 	echo "==> race detector on concurrency-heavy packages"
 	go test -race -count=1 -timeout 15m \
@@ -55,22 +63,26 @@ else
 		./internal/montecarlo \
 		./internal/brownian \
 		./internal/rng \
-		./internal/bench
+		./internal/bench \
+		./internal/serve \
+		./internal/serve/coalesce
 
 	echo "==> fuzz seed corpora"
-	go test -run='^Fuzz' -count=1 -timeout 10m ./internal/mathx ./internal/rng ./internal/blackscholes
+	go test -run='^Fuzz' -count=1 -timeout 10m \
+		./internal/mathx ./internal/rng ./internal/blackscholes ./internal/serve
+
+	echo "==> e2e smoke: finserve boot + loadgen gates"
+	./scripts/e2e_smoke.sh
 fi
 
-# Build finlint once and reuse the binary for both the main run and the
+# finlint is also built once and reused for both the main run and the
 # self-test (previously two separate `go run` compiles).
-FINLINT_DIR="$(mktemp -d)"
-trap 'rm -rf "$FINLINT_DIR"' EXIT
 echo "==> finlint ./..."
-go build -o "$FINLINT_DIR/finlint" ./cmd/finlint
-"$FINLINT_DIR/finlint" ./...
+go build -o "$TOOL_DIR/finlint" ./cmd/finlint
+"$TOOL_DIR/finlint" ./...
 
 echo "==> finlint self-test: seeded violations must be rejected"
-if "$FINLINT_DIR/finlint" ./internal/lint/testdata/... >/dev/null 2>&1; then
+if "$TOOL_DIR/finlint" ./internal/lint/testdata/... >/dev/null 2>&1; then
 	echo "error: finlint exited 0 on internal/lint/testdata/ seeded violations" >&2
 	exit 1
 fi

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# scripts/e2e_smoke.sh — end-to-end smoke gate for the finserve pricing
+# server. Boots the real binary on loopback and drives it with its own
+# load generator; every assertion lives in loadgen flags (no curl/jq):
+#
+#   phase 1  correctness: mixed methods + greeks, every 200 recomputed
+#            against the library and required to bit-match
+#   phase 2  deadline burst: sub-deadline Monte Carlo must answer 408 and
+#            the pool scheduler counters must freeze afterwards (cancelled
+#            work stops consuming the pool)
+#   phase 3  SIGTERM drain: in-flight work finishes, process exits 0
+#            within the drain budget
+#   phase 4  admission saturation: a tiny work budget must shed with 503
+#            and nothing else (no 5xx other than 503)
+#   phase 5  rate limiting: a tiny token bucket must answer 429
+#
+# Usage: ./scripts/e2e_smoke.sh   (E2E_PORT overrides the default port)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${E2E_PORT:-8231}"
+URL="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+BIN="$TMP/finserve"
+LOG="$TMP/server.log"
+SERVER_PID=""
+
+cleanup() {
+	if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+		kill -KILL "$SERVER_PID" 2>/dev/null || true
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "e2e: FAIL: $*" >&2
+	echo "--- server log ---" >&2
+	cat "$LOG" >&2 || true
+	exit 1
+}
+
+wait_port() {
+	for _ in $(seq 1 100); do
+		if (exec 3<>"/dev/tcp/127.0.0.1/${PORT}") 2>/dev/null; then
+			exec 3>&- 3<&- || true
+			return 0
+		fi
+		sleep 0.1
+	done
+	fail "server did not start listening on :${PORT}"
+}
+
+boot() {
+	: >"$LOG"
+	"$BIN" serve -addr "127.0.0.1:${PORT}" "$@" >>"$LOG" 2>&1 &
+	SERVER_PID=$!
+	wait_port
+}
+
+# SIGTERM the server and require exit 0 within max_ms.
+stop_drain() {
+	local max_ms="$1"
+	local t0 t1 rc=0
+	t0=$(date +%s%N)
+	kill -TERM "$SERVER_PID"
+	wait "$SERVER_PID" || rc=$?
+	t1=$(date +%s%N)
+	SERVER_PID=""
+	local elapsed_ms=$(((t1 - t0) / 1000000))
+	[[ $rc -eq 0 ]] || fail "server exited $rc on SIGTERM"
+	((elapsed_ms <= max_ms)) || fail "drain took ${elapsed_ms}ms > ${max_ms}ms"
+	echo "e2e: drained in ${elapsed_ms}ms"
+}
+
+echo "==> e2e: building finserve"
+go build -o "$BIN" ./cmd/finserve
+
+echo "==> e2e phase 1: correctness (mixed methods, bit-match verification)"
+boot
+"$BIN" loadgen -url "$URL" -requests 48 -concurrency 4 \
+	-mix "closed-form=6,monte-carlo=1,binomial-tree=1,crank-nicolson=1,trinomial-tree=1,greeks=2" \
+	-options 6 -mc-paths 16384 -binomial-steps 256 -grid-points 128 -time-steps 200 \
+	-verify -assert-codes 200 -min-count 200:48 ||
+	fail "phase 1 (correctness/verify)"
+
+echo "==> e2e phase 2: sub-deadline burst cancels work (408 + frozen sched)"
+"$BIN" loadgen -url "$URL" -requests 12 -concurrency 6 \
+	-mix "monte-carlo=1" -options 2 -mc-paths 4194304 -deadline-ms 5 \
+	-assert-codes 200,408 -min-count 408:8 -check-sched-frozen ||
+	fail "phase 2 (deadline burst / sched freeze)"
+
+echo "==> e2e phase 3: SIGTERM drains in-flight work within 5s"
+"$BIN" loadgen -url "$URL" -requests 4 -concurrency 4 \
+	-mix "monte-carlo=1" -options 1 -mc-paths 1048576 >/dev/null 2>&1 &
+LOADGEN_PID=$!
+sleep 0.2
+stop_drain 5000
+wait "$LOADGEN_PID" 2>/dev/null || true # drain may refuse its tail; phase asserts the server
+
+echo "==> e2e phase 4: admission saturation sheds with 503 (and only 503)"
+boot -max-units 30 -admit-wait 1ms
+"$BIN" loadgen -url "$URL" -requests 16 -concurrency 8 \
+	-mix "monte-carlo=1" -options 4 -mc-paths 262144 \
+	-assert-codes 200,503 -min-count 200:1,503:1 ||
+	fail "phase 4 (admission shed)"
+stop_drain 5000
+
+echo "==> e2e phase 5: request-rate limit answers 429"
+boot -rate 2 -burst 2
+"$BIN" loadgen -url "$URL" -requests 20 -concurrency 4 \
+	-mix "closed-form=1" -options 2 \
+	-assert-codes 200,429 -min-count 200:1,429:1 ||
+	fail "phase 5 (rate limit)"
+stop_drain 5000
+
+echo "e2e: all phases passed"
