@@ -1,20 +1,37 @@
-// Command finserve runs the concurrent batch-pricing server or its load
-// generator.
+// Command finserve runs the concurrent batch-pricing server, the shard
+// router that fronts a fleet of them, or the load generator.
 //
-//	finserve serve   -addr :8123 [-max-units N] [-rate R] [-degrade] ...
+//	finserve serve   -addr :8123 [-max-units N] [-fault-spec S] ...
+//	finserve route   -addr :8200 [-backends u1,u2 | -replicas N] ...
 //	finserve loadgen -url http://127.0.0.1:8123 [-requests N] [-mix ...] ...
+//	finserve fault   -spec seed:rate:kinds [-n 4096]
 //
-// The serve subcommand drains cleanly on SIGTERM/SIGINT: new work is
-// refused with 503 while in-flight requests finish (bounded by
-// -drain-timeout), then the process exits 0.
+// The serve subcommand drains cleanly on SIGTERM/SIGINT: the listener
+// keeps answering with a fast 503 + Retry-After for -drain-linger (so a
+// router fails requests over instead of seeing connection resets), then
+// in-flight requests finish (bounded by -drain-timeout) and the process
+// exits 0. -fault-spec wraps the listener in the deterministic fault
+// injector for chaos runs.
+//
+// The route subcommand fronts N replicas with health checks, circuit
+// breakers, retry/failover and optional hedging; -replicas spawns them
+// as child processes of this binary and -restart-delay revives any that
+// die (the chaos harness kills one mid-burst and watches the breaker
+// reopen and recover).
 //
 // The loadgen subcommand drives a running server with a configurable
 // method mix and asserts the protocol's guarantees from outside: -verify
 // recomputes every 200 against the library and fails on any bit mismatch,
 // -assert-codes restricts which status codes may appear, -min-count
-// demands floors per code, and -check-sched-frozen proves cancelled work
-// stopped reaching the parallel pool. The e2e smoke gate is built from
-// these flags.
+// demands floors per code, -check-sched-frozen proves cancelled work
+// stopped reaching the parallel pool, and the -assert-availability /
+// -assert-max-retries / breaker assertions gate chaos runs. The e2e
+// smoke and chaos gates are built from these flags.
+//
+// The fault subcommand prints a fault spec's canonical form, decision
+// digest and per-kind counts — two invocations with the same spec must
+// print identical output, which is how the chaos script proves the
+// injector deterministic.
 package main
 
 import (
@@ -22,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +47,7 @@ import (
 	"time"
 
 	"finbench"
+	"finbench/internal/fault"
 	"finbench/internal/serve"
 	"finbench/internal/serve/loadgen"
 )
@@ -41,8 +60,12 @@ func main() {
 	switch os.Args[1] {
 	case "serve":
 		os.Exit(runServe(os.Args[2:]))
+	case "route":
+		os.Exit(runRoute(os.Args[2:]))
 	case "loadgen":
 		os.Exit(runLoadgen(os.Args[2:]))
+	case "fault":
+		os.Exit(runFault(os.Args[2:]))
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -53,8 +76,34 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: finserve serve [flags] | finserve loadgen [flags]")
-	fmt.Fprintln(os.Stderr, "run 'finserve serve -h' or 'finserve loadgen -h' for flags")
+	fmt.Fprintln(os.Stderr, "usage: finserve serve|route|loadgen|fault [flags]")
+	fmt.Fprintln(os.Stderr, "run 'finserve <subcommand> -h' for flags")
+}
+
+// runFault prints the deterministic decision digest of a fault spec.
+func runFault(args []string) int {
+	fs := flag.NewFlagSet("finserve fault", flag.ExitOnError)
+	var (
+		specStr = fs.String("spec", "", "fault spec seed:rate:kinds (required)")
+		n       = fs.Int("n", 4096, "decisions to digest")
+	)
+	_ = fs.Parse(args)
+	spec, err := fault.ParseSpec(*specStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fault: %v\n", err)
+		return 2
+	}
+	counts := make(map[fault.Kind]uint64)
+	for i := uint64(0); i < uint64(*n); i++ {
+		counts[spec.Decide(i)]++
+	}
+	fmt.Printf("spec=%s n=%d digest=%016x\n", spec, *n, spec.Digest(*n))
+	for _, k := range []fault.Kind{fault.KindNone, fault.KindRefuse, fault.KindReset, fault.KindTruncate, fault.KindLatency, fault.KindLimp} {
+		if c, ok := counts[k]; ok {
+			fmt.Printf("  %s=%d\n", k, c)
+		}
+	}
+	return 0
 }
 
 func runServe(args []string) int {
@@ -75,8 +124,21 @@ func runServe(args []string) int {
 		maxDeadline  = fs.Duration("max-deadline", 0, "server-side deadline cap (0 = default)")
 		degrade      = fs.Bool("degrade", false, "enable degrade mode under sustained shedding")
 		drainTO      = fs.Duration("drain-timeout", 5*time.Second, "max time to drain on SIGTERM")
+		drainLinger  = fs.Duration("drain-linger", 300*time.Millisecond, "how long the listener keeps answering fast 503s before it stops accepting")
+		faultSpec    = fs.String("fault-spec", "", "deterministic fault injection seed:rate:kinds (chaos runs)")
 	)
 	_ = fs.Parse(args)
+
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "finserve: %v\n", err)
+			return 2
+		}
+		inj = fault.NewInjector(spec)
+		fmt.Fprintf(os.Stderr, "finserve: fault injection %s (digest %016x over 4096)\n", spec, spec.Digest(4096))
+	}
 
 	s := serve.New(serve.Config{
 		Market:           finbench.Market{Rate: *mktRate, Volatility: *mktVol},
@@ -94,10 +156,15 @@ func runServe(args []string) int {
 	})
 	defer s.Close()
 
-	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "finserve: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Handler: s.Handler()}
 	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "finserve: listening on %s\n", *addr)
+	go func() { errCh <- hs.Serve(fault.NewListener(ln, inj)) }()
+	fmt.Fprintf(os.Stderr, "finserve: listening on %s\n", ln.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -106,10 +173,17 @@ func runServe(args []string) int {
 		fmt.Fprintf(os.Stderr, "finserve: %v\n", err)
 		return 1
 	case got := <-sig:
-		fmt.Fprintf(os.Stderr, "finserve: %v, draining (timeout %v)\n", got, *drainTO)
+		fmt.Fprintf(os.Stderr, "finserve: %v, draining (linger %v, timeout %v)\n", got, *drainLinger, *drainTO)
 	}
 
+	// Ordered shutdown: first answer new requests with a fast 503 +
+	// Retry-After while routers re-route (StartDrain), only then stop
+	// accepting. Closing the listener immediately would race in-flight
+	// connection setups into resets, which a router counts as a crash.
 	start := time.Now()
+	s.StartDrain()
+	hs.SetKeepAlivesEnabled(false)
+	time.Sleep(*drainLinger)
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	drainErr := s.Drain(ctx)
@@ -143,6 +217,10 @@ func runLoadgen(args []string) int {
 		minCount    = fs.String("min-count", "", "minimum responses per code, e.g. 200:40,503:1")
 		schedFrozen = fs.Bool("check-sched-frozen", false, "after the run, require the pool scheduler counters to stop advancing")
 		schedGap    = fs.Duration("sched-gap", 300*time.Millisecond, "observation gap for -check-sched-frozen")
+		availPct    = fs.Float64("assert-availability", -1, "minimum percent of requests answered 200 (chaos floor; transport errors count against it instead of failing the run)")
+		maxRetries  = fs.Int("assert-max-retries", -1, "maximum routed retries across the run (-1 = no limit)")
+		minBrkOpens = fs.Uint64("assert-min-breaker-opens", 0, "require at least N breaker opens on the router's /statsz")
+		brkClosed   = fs.Bool("assert-breakers-closed", false, "require every router breaker closed after the run")
 	)
 	_ = fs.Parse(args)
 
@@ -190,7 +268,9 @@ func runLoadgen(args []string) int {
 		failed = true
 		fmt.Fprintf(os.Stderr, "loadgen: FAIL: "+format+"\n", a...)
 	}
-	if len(rep.Errors) > 0 {
+	if len(rep.Errors) > 0 && *availPct < 0 {
+		// Under a chaos availability floor, transport errors are the
+		// expected casualties and are judged by the floor instead.
 		fail("transport errors: %v", rep.Errors)
 	}
 	if *verify && rep.Mismatch > 0 {
@@ -209,6 +289,32 @@ func runLoadgen(args []string) int {
 	for code, want := range mins {
 		if got := rep.Count(code); got < want {
 			fail("status %d: got %d, want >= %d", code, got, want)
+		}
+	}
+	if *availPct >= 0 {
+		if got := rep.Availability() * 100; got < *availPct {
+			fail("availability %.2f%% below the %.2f%% floor", got, *availPct)
+		} else {
+			fmt.Printf("availability %.2f%% (floor %.2f%%)\n", got, *availPct)
+		}
+	}
+	if *maxRetries >= 0 && rep.Retries > *maxRetries {
+		fail("%d retries exceed -assert-max-retries %d", rep.Retries, *maxRetries)
+	}
+	if *minBrkOpens > 0 || *brkClosed {
+		opens, notClosed, err := loadgen.RouterBreakers(*url)
+		if err != nil {
+			fail("breaker assertion: %v", err)
+		} else {
+			if opens < *minBrkOpens {
+				fail("breaker opens %d below required %d", opens, *minBrkOpens)
+			}
+			if *brkClosed && notClosed > 0 {
+				fail("%d breakers not closed after the run", notClosed)
+			}
+			if opens >= *minBrkOpens && (!*brkClosed || notClosed == 0) {
+				fmt.Printf("breakers: opens=%d not_closed=%d\n", opens, notClosed)
+			}
 		}
 	}
 	if *schedFrozen {

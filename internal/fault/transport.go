@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Errors the Transport synthesizes. They deliberately read like the real
+// net errors so log triage looks the same for injected and organic faults.
+var (
+	// ErrRefused stands in for a dial to a dead replica.
+	ErrRefused = errors.New("fault: connection refused")
+	// ErrReset stands in for a connection killed mid-response.
+	ErrReset = errors.New("fault: connection reset by peer")
+)
+
+// Transport wraps an http.RoundTripper with the same seed-driven decision
+// stream the listener uses, but on the client side: the router unit tests
+// front httptest servers with it instead of real crashed processes. One
+// decision is consumed per round trip.
+type Transport struct {
+	// Base performs real round trips (http.DefaultTransport when nil).
+	Base http.RoundTripper
+	// Inj supplies decisions; nil injects nothing.
+	Inj *Injector
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Inj == nil {
+		return t.base().RoundTrip(req)
+	}
+	switch t.Inj.NextDecision() {
+	case KindRefuse:
+		// The request never leaves the client: provably unexecuted.
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		return nil, ErrRefused
+	case KindReset:
+		// The request executes but the response is lost.
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return nil, ErrReset
+	case KindTruncate:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		cut := t.Inj.spec.TruncateAfter
+		if cut > len(body) {
+			cut = len(body)
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body[:cut]))
+		return resp, nil
+	case KindLatency:
+		time.Sleep(t.Inj.spec.Latency)
+		return t.base().RoundTrip(req)
+	case KindLimp:
+		resp, err := t.base().RoundTrip(req)
+		time.Sleep(t.Inj.spec.LimpDelay)
+		return resp, err
+	default:
+		return t.base().RoundTrip(req)
+	}
+}

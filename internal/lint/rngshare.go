@@ -8,28 +8,60 @@ import (
 )
 
 // parallelPkgPath is the module's OpenMP-style loop package; the closures
-// it receives run on multiple goroutines at once.
-const parallelPkgPath = "finbench/internal/parallel"
+// it receives run on multiple goroutines at once. resiliencePkgPath is
+// the serving tier's retry/hedge machinery: a hedged op runs on several
+// goroutines concurrently, and a retried op re-executes, so a captured
+// stream races or silently diverges between attempts either way.
+const (
+	parallelPkgPath   = "finbench/internal/parallel"
+	resiliencePkgPath = "finbench/internal/resilience"
+)
 
-// parallelLoopFuncs are the entry points whose closure argument executes
-// concurrently. ForIndexed is included: its worker id makes the per-worker
-// pattern *possible*, but capturing one shared stream in its closure is
-// exactly as racy as in For.
-var parallelLoopFuncs = map[string]bool{
-	"For":              true,
-	"ForWorkers":       true,
-	"ForDynamic":       true,
-	"ForGuided":        true,
-	"ForIndexed":       true,
-	"ForIndexedMerged": true,
-	"Run":              true,
-	"Reduce":           true,
-	"ReduceFloat64":    true,
-	// Cancellable variants (the serving path): the closure contract is
-	// identical, so a captured stream races exactly the same way.
-	"ForCtx":              true,
-	"ForDynamicCtx":       true,
-	"ForIndexedMergedCtx": true,
+// concurrentClosureFuncs maps package path to the entry points whose
+// closure argument executes concurrently (or re-executes, for Retry).
+// ForIndexed is included: its worker id makes the per-worker pattern
+// *possible*, but capturing one shared stream in its closure is exactly
+// as racy as in For.
+var concurrentClosureFuncs = map[string]map[string]bool{
+	parallelPkgPath: {
+		"For":              true,
+		"ForWorkers":       true,
+		"ForDynamic":       true,
+		"ForGuided":        true,
+		"ForIndexed":       true,
+		"ForIndexedMerged": true,
+		"Run":              true,
+		"Reduce":           true,
+		"ReduceFloat64":    true,
+		// Cancellable variants (the serving path): the closure contract is
+		// identical, so a captured stream races exactly the same way.
+		"ForCtx":              true,
+		"ForDynamicCtx":       true,
+		"ForIndexedMergedCtx": true,
+	},
+	resiliencePkgPath: {
+		// Hedge legs run concurrently; Retry re-executes the op and its
+		// closure shares state with the caller's health/stat goroutines.
+		"Retry": true,
+		"Hedge": true,
+	},
+}
+
+// closureHints is the per-package fix suggestion appended to the
+// diagnostic.
+var closureHints = map[string]string{
+	parallelPkgPath:   "derive a per-worker stream inside the closure (e.g. rng.NewStream(worker, seed) with parallel.ForIndexed)",
+	resiliencePkgPath: "derive a per-attempt stream inside the closure (hedge legs run concurrently, and a retried attempt must not continue a prior attempt's sequence)",
+}
+
+// pkgDisplayName is the identifier a caller writes before the dot.
+func pkgDisplayName(pkgPath string) string {
+	for i := len(pkgPath) - 1; i >= 0; i-- {
+		if pkgPath[i] == '/' {
+			return pkgPath[i+1:]
+		}
+	}
+	return pkgPath
 }
 
 // rngsharePass flags an *rng.Stream or *math/rand.Rand captured by a
@@ -54,7 +86,7 @@ func runRNGShare(p *Package, report func(pos token.Pos, msg string)) {
 				return true
 			}
 			pkgPath, fn, ok := calleeStatic(p, call)
-			if !ok || pkgPath != parallelPkgPath || !parallelLoopFuncs[fn] {
+			if !ok || !concurrentClosureFuncs[pkgPath][fn] {
 				return true
 			}
 			for _, arg := range call.Args {
@@ -62,7 +94,7 @@ func runRNGShare(p *Package, report func(pos token.Pos, msg string)) {
 				if !ok {
 					continue
 				}
-				checkClosureCaptures(p, fn, lit, report)
+				checkClosureCaptures(p, pkgPath, fn, lit, report)
 			}
 			return true
 		})
@@ -71,7 +103,7 @@ func runRNGShare(p *Package, report func(pos token.Pos, msg string)) {
 
 // checkClosureCaptures reports every RNG-typed variable used inside lit
 // but declared outside it (one report per variable).
-func checkClosureCaptures(p *Package, loopFn string, lit *ast.FuncLit, report func(pos token.Pos, msg string)) {
+func checkClosureCaptures(p *Package, pkgPath, loopFn string, lit *ast.FuncLit, report func(pos token.Pos, msg string)) {
 	reported := make(map[types.Object]bool)
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
@@ -91,8 +123,8 @@ func checkClosureCaptures(p *Package, loopFn string, lit *ast.FuncLit, report fu
 		}
 		reported[obj] = true
 		report(id.Pos(), fmt.Sprintf(
-			"%s %q is captured by the closure passed to parallel.%s; workers would race on its state — derive a per-worker stream inside the closure (e.g. rng.NewStream(worker, seed) with parallel.ForIndexed)",
-			kind, obj.Name(), loopFn))
+			"%s %q is captured by the closure passed to %s.%s; workers would race on its state — %s",
+			kind, obj.Name(), pkgDisplayName(pkgPath), loopFn, closureHints[pkgPath]))
 		return true
 	})
 }

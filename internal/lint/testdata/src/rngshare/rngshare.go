@@ -5,9 +5,11 @@ package rngshare
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"finbench/internal/parallel"
 	"finbench/internal/perf"
+	"finbench/internal/resilience"
 	"finbench/internal/rng"
 )
 
@@ -81,4 +83,39 @@ func GoodPerWorkerCtx(ctx context.Context, dst []float64, seed uint64, c *perf.C
 		stream := rng.NewStream(worker, seed)
 		stream.Uniform(dst[lo:hi])
 	})
+}
+
+// BadSharedStreamHedge captures one stream in a hedged op: the hedge
+// legs run on concurrent goroutines and race on the twister state.
+func BadSharedStreamHedge(ctx context.Context, dst []float64, seed uint64) error {
+	stream := rng.NewStream(0, seed)
+	_, _, err := resilience.Hedge(ctx, time.Millisecond, 2, func(ctx context.Context, attempt int) (int, error) {
+		stream.Uniform(dst) // seeded violation
+		return 0, nil
+	})
+	return err
+}
+
+// BadSharedRandRetry captures a *math/rand.Rand in a retried op: a
+// second attempt continues the first attempt's sequence, so the "same"
+// operation computes different numbers per retry — and the closure
+// shares the generator with whatever else holds it.
+func BadSharedRandRetry(ctx context.Context, dst []float64, r *rand.Rand) error {
+	return resilience.Retry(ctx, 3, resilience.Backoff{}, nil, func(ctx context.Context, attempt int) error {
+		for i := range dst {
+			dst[i] = r.Float64() // seeded violation
+		}
+		return nil
+	})
+}
+
+// GoodPerAttemptHedge derives an attempt-local stream inside the hedged
+// op — each leg draws an identical, reproducible sequence. Not flagged.
+func GoodPerAttemptHedge(ctx context.Context, dst []float64, seed uint64) error {
+	_, _, err := resilience.Hedge(ctx, time.Millisecond, 2, func(ctx context.Context, attempt int) (int, error) {
+		stream := rng.NewStream(0, seed)
+		stream.Uniform(dst)
+		return 0, nil
+	})
+	return err
 }

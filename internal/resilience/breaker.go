@@ -1,0 +1,205 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State uint8
+
+const (
+	// Closed admits every request (the healthy state).
+	Closed State = iota
+	// Open refuses every request until OpenFor has elapsed.
+	Open
+	// HalfOpen admits up to Probes concurrent trial requests; enough
+	// successes close the breaker, any failure reopens it.
+	HalfOpen
+)
+
+// String returns the conventional lowercase name.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker; zero values select the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// OpenFor is how long the breaker stays open before admitting probes
+	// (default 1s).
+	OpenFor time.Duration
+	// Probes bounds the concurrent trial requests in half-open (default 1).
+	Probes int
+	// SuccessesToClose is the probe successes required to close (default 1).
+	SuccessesToClose int
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = time.Second
+	}
+	if c.Probes <= 0 {
+		c.Probes = 1
+	}
+	if c.SuccessesToClose <= 0 {
+		c.SuccessesToClose = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-replica circuit breaker. Callers bracket each request
+// with Allow (admission) and exactly one of Success/Failure per admitted
+// request; Allow returning false means the replica is to be skipped.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu           sync.Mutex
+	state        State
+	consecFails  int
+	openedAt     time.Time
+	probesOut    int // trial requests currently in flight (half-open)
+	probeSuccess int
+
+	opens     uint64
+	probes    uint64
+	successes uint64
+	failures  uint64
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may be sent. In the open state it flips
+// to half-open once OpenFor has elapsed and admits a bounded number of
+// probes; excess callers are refused until a probe resolves.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return false
+		}
+		b.state = HalfOpen
+		b.probesOut = 0
+		b.probeSuccess = 0
+		fallthrough
+	case HalfOpen:
+		if b.probesOut >= b.cfg.Probes {
+			return false
+		}
+		b.probesOut++
+		b.probes++
+		return true
+	}
+	return true
+}
+
+// Success records a request that completed healthily.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.successes++
+	switch b.state {
+	case Closed:
+		b.consecFails = 0
+	case HalfOpen:
+		if b.probesOut > 0 {
+			b.probesOut--
+		}
+		b.probeSuccess++
+		if b.probeSuccess >= b.cfg.SuccessesToClose {
+			b.state = Closed
+			b.consecFails = 0
+		}
+	case Open:
+		// A straggler from before the trip; harmless.
+	}
+}
+
+// Failure records a failed request (transport error, 5xx, truncation).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch b.state {
+	case Closed:
+		b.consecFails++
+		if b.consecFails >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		if b.probesOut > 0 {
+			b.probesOut--
+		}
+		b.trip()
+	case Open:
+		// Already open; stragglers don't extend the window (openedAt is
+		// the decision point the half-open timer runs from).
+	}
+}
+
+// trip moves to open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Now()
+	b.opens++
+	b.probeSuccess = 0
+}
+
+// State returns the current position, applying the open→half-open clock
+// transition so observers don't read a stale "open".
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		return HalfOpen // next Allow will make it official
+	}
+	return b.state
+}
+
+// BreakerSnapshot is the observable state for /statsz.
+type BreakerSnapshot struct {
+	State     string `json:"state"`
+	Opens     uint64 `json:"opens"`
+	Probes    uint64 `json:"probes"`
+	Successes uint64 `json:"successes"`
+	Failures  uint64 `json:"failures"`
+}
+
+// Snapshot returns the counters and effective state.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	state := b.State().String()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:     state,
+		Opens:     b.opens,
+		Probes:    b.probes,
+		Successes: b.successes,
+		Failures:  b.failures,
+	}
+}

@@ -1,0 +1,85 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// hedgeResult carries one attempt's outcome through the channel.
+type hedgeResult[T any] struct {
+	val     T
+	err     error
+	attempt int
+}
+
+// Hedge runs op and, every delay in which no attempt has finished,
+// launches another — up to maxAttempts concurrent attempts. The first
+// success wins: its value and attempt index are returned and every other
+// attempt's context is cancelled (losers must honor it). If all attempts
+// fail, the first attempt's error is returned (it saw the real deadline;
+// later hedges usually fail with cancellation noise).
+//
+// The closure runs on multiple goroutines at once — it must not share
+// unsynchronized mutable state (in particular RNG streams) across
+// attempts. Hedging duplicates execution, so callers must only hedge
+// operations whose results are bit-reproducible regardless of where they
+// run; the serving tier never hedges Monte Carlo for exactly that reason.
+func Hedge[T any](ctx context.Context, delay time.Duration, maxAttempts int, op func(ctx context.Context, attempt int) (T, error)) (T, int, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	if maxAttempts == 1 || delay < 0 {
+		v, err := op(ctx, 0)
+		return v, 0, err
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan hedgeResult[T], maxAttempts)
+	launch := func(attempt int) {
+		go func() {
+			v, err := op(hctx, attempt)
+			results <- hedgeResult[T]{val: v, err: err, attempt: attempt}
+		}()
+	}
+
+	launch(0)
+	launched, failed := 1, 0
+	var firstErr error
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	for {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				cancel() // losers stop consuming their replicas
+				return r.val, r.attempt, nil
+			}
+			if r.attempt == 0 {
+				firstErr = r.err
+			}
+			failed++
+			if failed == launched && launched == maxAttempts {
+				var zero T
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				return zero, r.attempt, firstErr
+			}
+			if failed == launched {
+				// Everything in flight failed; hedge immediately rather
+				// than waiting out the timer.
+				launch(launched)
+				launched++
+			}
+		case <-timer.C:
+			if launched < maxAttempts {
+				launch(launched)
+				launched++
+				timer.Reset(delay)
+			}
+		case <-ctx.Done():
+			var zero T
+			return zero, -1, ctx.Err()
+		}
+	}
+}

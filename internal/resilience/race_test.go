@@ -1,0 +1,89 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRaceBreakerStress hammers one breaker from many goroutines — the
+// shape the router produces when every worker brackets requests with
+// Allow/Success/Failure while a health checker reads Snapshot. Run under
+// -race by scripts/check.sh.
+func TestRaceBreakerStress(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenFor: time.Millisecond, Probes: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if b.Allow() {
+					if (i+w)%5 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				if i%64 == 0 {
+					_ = b.Snapshot()
+					_ = b.State()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := b.Snapshot()
+	if snap.Successes == 0 {
+		t.Error("no successes recorded under stress")
+	}
+}
+
+// TestRaceBudgetStress exercises concurrent earn/spend.
+func TestRaceBudgetStress(t *testing.T) {
+	budget := NewBudget(0.5, 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				budget.OnAttempt()
+				budget.TryRetry()
+			}
+		}()
+	}
+	wg.Wait()
+	spent, denied := budget.Counters()
+	if spent+denied == 0 {
+		t.Error("budget recorded no activity")
+	}
+}
+
+// TestRaceHedgeStress runs many hedged operations concurrently with mixed
+// winners and losers; each closure touches only per-attempt state.
+func TestRaceHedgeStress(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, _, err := Hedge(context.Background(), 10*time.Microsecond, 3,
+					func(ctx context.Context, attempt int) (int, error) {
+						if (i+attempt+w)%3 == 0 {
+							return 0, errors.New("transient")
+						}
+						return attempt, nil
+					})
+				if err != nil && !errors.Is(err, context.Canceled) {
+					// All three legs can fail for some (i,w); that's fine.
+					continue
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -123,6 +123,15 @@ func (a *admission) inFlight() int64 {
 	return v
 }
 
+// queued returns the number of requests waiting for admission — the
+// queue-depth signal /healthz exposes for router load scoring.
+func (a *admission) queued() int {
+	a.mu.Lock()
+	n := len(a.q)
+	a.mu.Unlock()
+	return n
+}
+
 // bucket is a token-bucket request-rate limiter. A nil bucket allows
 // everything.
 type bucket struct {

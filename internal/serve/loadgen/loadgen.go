@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -23,6 +24,7 @@ import (
 
 	"finbench"
 	"finbench/internal/serve"
+	"finbench/internal/serve/shard"
 )
 
 // Options configures a load-generation run.
@@ -60,7 +62,26 @@ type Report struct {
 	Mismatch  int            `json:"mismatch"`
 	Coalesced int            `json:"coalesced"`
 	Degraded  int            `json:"degraded"`
-	ElapsedMS int64          `json:"elapsed_ms"`
+	// Retries and HedgeWins are read from the router's X-Finserve-*
+	// response headers (zero against a bare replica): retries is the sum
+	// of attempts beyond the first across all answered requests.
+	Retries   int   `json:"retries"`
+	HedgeWins int   `json:"hedge_wins"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// P50MS / P99MS are per-request wall-clock latency percentiles over
+	// every request, including errored ones (a refused connection is an
+	// answer the client waited for).
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// Availability is the fraction of requests answered 200, counting
+// transport errors in the denominator.
+func (r *Report) Availability() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Count(200)) / float64(r.Requests)
 }
 
 // Count returns the number of responses with the given status code.
@@ -86,6 +107,12 @@ func (r *Report) String() string {
 	}
 	if r.Degraded > 0 {
 		fmt.Fprintf(&b, " degraded=%d", r.Degraded)
+	}
+	if r.Retries > 0 || r.HedgeWins > 0 {
+		fmt.Fprintf(&b, " retries=%d hedge_wins=%d", r.Retries, r.HedgeWins)
+	}
+	if r.P99MS > 0 {
+		fmt.Fprintf(&b, " p50=%.1fms p99=%.1fms", r.P50MS, r.P99MS)
 	}
 	for e, n := range r.Errors {
 		fmt.Fprintf(&b, " err[%s]=%d", e, n)
@@ -141,11 +168,12 @@ func Run(o Options) (*Report, error) {
 	client := &http.Client{Timeout: o.Timeout}
 
 	var (
-		mu     sync.Mutex
-		rep    = &Report{Codes: make(map[int]int), Errors: make(map[string]int)}
-		next   atomic.Int64
-		wg     sync.WaitGroup
-		market = finbench.Market{Rate: 0.02, Volatility: 0.3}
+		mu        sync.Mutex
+		rep       = &Report{Codes: make(map[int]int), Errors: make(map[string]int)}
+		latencies []float64
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		market    = finbench.Market{Rate: 0.02, Volatility: 0.3}
 	)
 	start := time.Now()
 	for w := 0; w < o.Concurrency; w++ {
@@ -159,9 +187,12 @@ func Run(o Options) (*Report, error) {
 					return
 				}
 				method := table[rng.Intn(len(table))]
+				t0 := time.Now()
 				code, outcome, err := o.doRequest(client, rng, method, market)
+				reqMS := float64(time.Since(t0).Microseconds()) / 1000
 				mu.Lock()
 				rep.Requests++
+				latencies = append(latencies, reqMS)
 				if err != nil {
 					rep.Errors[errKey(err)]++
 				} else {
@@ -170,6 +201,8 @@ func Run(o Options) (*Report, error) {
 					rep.Mismatch += outcome.mismatch
 					rep.Coalesced += outcome.coalesced
 					rep.Degraded += outcome.degraded
+					rep.Retries += outcome.retries
+					rep.HedgeWins += outcome.hedgeWon
 				}
 				mu.Unlock()
 			}
@@ -177,11 +210,44 @@ func Run(o Options) (*Report, error) {
 	}
 	wg.Wait()
 	rep.ElapsedMS = time.Since(start).Milliseconds()
+	rep.P50MS = percentile(latencies, 0.50)
+	rep.P99MS = percentile(latencies, 0.99)
 	return rep, nil
+}
+
+// percentile returns the q-quantile (nearest-rank) of values in ms.
+func percentile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
 }
 
 type reqOutcome struct {
 	verified, mismatch, coalesced, degraded int
+	retries, hedgeWon                       int
+}
+
+// noteRouteHeaders reads the per-request resilience headers a shard
+// router attaches; against a bare replica they are absent and the
+// outcome stays zero. X-Finserve-Retries counts only sequential
+// re-attempts (hedge legs are in X-Finserve-Attempts but are not
+// retries).
+func (out *reqOutcome) noteRouteHeaders(resp *http.Response) {
+	if v := resp.Header.Get("X-Finserve-Retries"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			out.retries = n
+		}
+	}
+	if resp.Header.Get("X-Finserve-Hedge") == "won" {
+		out.hedgeWon = 1
+	}
 }
 
 // errKey buckets transport errors coarsely so the report stays readable.
@@ -222,6 +288,7 @@ func (o Options) doRequest(client *http.Client, rng *rand.Rand, method string, m
 		return 0, out, err
 	}
 	defer resp.Body.Close()
+	out.noteRouteHeaders(resp)
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		return 0, out, err
@@ -258,6 +325,7 @@ func (o Options) doGreeks(client *http.Client, rng *rand.Rand, mkt finbench.Mark
 		return 0, out, err
 	}
 	defer resp.Body.Close()
+	out.noteRouteHeaders(resp)
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		return 0, out, err
@@ -394,6 +462,32 @@ func fetchSched(baseURL string) (map[string]uint64, error) {
 		return nil, err
 	}
 	return snap.Sched, nil
+}
+
+// RouterBreakers reads a shard router's /statsz and summarizes its
+// breakers: total opens across replicas and how many are not currently
+// closed. Chaos assertions are built on the deltas (breakers opened
+// during the kill, all closed again after recovery).
+func RouterBreakers(baseURL string) (opens uint64, notClosed int, err error) {
+	resp, err := http.Get(baseURL + "/statsz")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var snap shard.StatszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, 0, err
+	}
+	if len(snap.Replicas) == 0 {
+		return 0, 0, fmt.Errorf("%s/statsz has no replicas; not a shard router", baseURL)
+	}
+	for _, rs := range snap.Replicas {
+		opens += rs.Breaker.Opens
+		if rs.Breaker.State != "closed" {
+			notClosed++
+		}
+	}
+	return opens, notClosed, nil
 }
 
 // ParseMix parses "closed-form=8,monte-carlo=1" into a weight map.

@@ -107,6 +107,18 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// HealthResponse is the GET /healthz body: liveness plus the load signals
+// the shard router scores replicas by. Status is "ok" or "draining";
+// draining replicas answer 503 with Retry-After so routers re-route
+// instead of counting a crash.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	InFlightUnits int64   `json:"in_flight_units"`
+	MaxUnits      int64   `json:"max_units"`
+	QueueDepth    int64   `json:"queue_depth"`
+	UptimeS       float64 `json:"uptime_s"`
+}
+
 // ParseMethod maps a wire method name to a finbench.Method. An empty name
 // selects the closed form.
 func ParseMethod(name string) (finbench.Method, error) {

@@ -148,6 +148,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// StartDrain flips the server into draining mode without waiting: new
+// requests are answered with a fast 503 + Retry-After (so a router fails
+// them over to a live replica instead of seeing the listener close under
+// it) and /healthz reports "draining" for health checkers. Call Drain
+// afterwards to wait for in-flight work.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.co.Flush()
+}
+
 // Drain puts the server into draining mode (new work is refused with
 // 503), flushes the coalescer, and waits until in-flight work reaches
 // zero or ctx expires. Returns nil when fully drained.
@@ -421,14 +431,25 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, &snap)
 }
 
+// handleHealthz reports liveness plus the load signals a router needs to
+// score this replica: in-flight work units, admission-queue depth, and the
+// draining bit. Draining answers 503 with Retry-After so a router fails
+// the request over instead of treating the replica as crashed.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := HealthResponse{
+		Status:        "ok",
+		InFlightUnits: s.adm.inFlight(),
+		MaxUnits:      s.adm.max,
+		QueueDepth:    int64(s.adm.queued()),
+		UptimeS:       time.Since(s.stats.start).Seconds(),
+	}
 	if s.draining.Load() {
-		s.writeError(w, http.StatusServiceUnavailable, "draining")
+		h.Status = "draining"
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, &h)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.stats.countCode(http.StatusOK)
-	_, _ = w.Write([]byte("ok\n"))
+	s.writeJSON(w, http.StatusOK, &h)
 }
 
 func (s *Server) rateAllow() bool { return s.rate.allow() }

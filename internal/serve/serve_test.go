@@ -414,6 +414,163 @@ func TestDegradeHysteresis(t *testing.T) {
 	}
 }
 
+// fillWindow records shed shed-outcomes and total-shed admits, then
+// closes the window.
+func fillWindow(d *degrader, total, shed int) {
+	for i := 0; i < total-shed; i++ {
+		d.noteAdmit()
+	}
+	for i := 0; i < shed; i++ {
+		d.noteShed()
+	}
+	d.evaluate()
+}
+
+// TestDegradeHysteresisBoundaries pins the exact comparison directions at
+// the two watermarks: the enter threshold is inclusive (rate >= high
+// engages), the exit threshold is inclusive (rate <= low disengages), and
+// the band between them preserves the current state in both directions.
+func TestDegradeHysteresisBoundaries(t *testing.T) {
+	d := &degrader{enabled: true}
+
+	// Exactly at the high watermark (10/100 = degradeHighWater): engages.
+	fillWindow(d, 100, int(degradeHighWater*100))
+	if !d.active() {
+		t.Fatalf("rate exactly %.2f did not engage degrade", degradeHighWater)
+	}
+	// Just under the high watermark from the ON state: stays on.
+	fillWindow(d, 100, int(degradeHighWater*100)-1)
+	if !d.active() {
+		t.Fatal("rate just under the enter threshold flapped degrade off")
+	}
+	// Just above the low watermark: still on.
+	fillWindow(d, 100, int(degradeLowWater*100)+1)
+	if !d.active() {
+		t.Fatal("rate just above the exit threshold flapped degrade off")
+	}
+	// Exactly at the low watermark: disengages.
+	fillWindow(d, 100, int(degradeLowWater*100))
+	if d.active() {
+		t.Fatalf("rate exactly %.2f did not disengage degrade", degradeLowWater)
+	}
+	// Just under the high watermark from the OFF state: stays off.
+	fillWindow(d, 100, int(degradeHighWater*100)-1)
+	if d.active() {
+		t.Fatal("rate just under the enter threshold engaged degrade")
+	}
+	if got := d.flips.Load(); got != 2 {
+		t.Errorf("transitions = %d, want exactly 2 (one on, one off)", got)
+	}
+}
+
+// TestDegradeMinSamplesBoundary pins the window-size floor: one outcome
+// short of degradeMinSamples is ignored even at 100% shed, and exactly
+// degradeMinSamples evaluates.
+func TestDegradeMinSamplesBoundary(t *testing.T) {
+	d := &degrader{enabled: true}
+	fillWindow(d, degradeMinSamples-1, degradeMinSamples-1)
+	if d.active() {
+		t.Fatal("a sub-minimum window flipped degrade on")
+	}
+	fillWindow(d, degradeMinSamples, degradeMinSamples)
+	if !d.active() {
+		t.Fatal("an exactly-minimum fully-shed window did not flip degrade on")
+	}
+	// A sub-minimum clean window must not flip it back off either.
+	fillWindow(d, degradeMinSamples-1, 0)
+	if !d.active() {
+		t.Fatal("a sub-minimum window flipped degrade off")
+	}
+}
+
+// TestDegradeNoFlappingUnderOscillation drives windows oscillating right
+// around each watermark — the load pattern hysteresis exists for — and
+// requires exactly one transition per true crossing, never one per window.
+func TestDegradeNoFlappingUnderOscillation(t *testing.T) {
+	d := &degrader{enabled: true}
+	// Off-state oscillation just below/above the *exit* threshold: the
+	// enter threshold is never reached, so degrade must stay off.
+	for i := 0; i < 10; i++ {
+		fillWindow(d, 100, 1) // 1% — under both watermarks
+		fillWindow(d, 100, 9) // 9% — inside the band
+	}
+	if d.active() || d.flips.Load() != 0 {
+		t.Fatalf("off-state oscillation flipped degrade (flips=%d)", d.flips.Load())
+	}
+	// One true overload crossing…
+	fillWindow(d, 100, 25)
+	if !d.active() {
+		t.Fatal("a 25-percent-shed window did not engage degrade")
+	}
+	// …then on-state oscillation across the *enter* threshold: 9% and 11%
+	// both stay above the exit threshold, so no transition may occur.
+	for i := 0; i < 10; i++ {
+		fillWindow(d, 100, 9)
+		fillWindow(d, 100, 11)
+	}
+	if !d.active() {
+		t.Fatal("on-state oscillation flapped degrade off")
+	}
+	if got := d.flips.Load(); got != 1 {
+		t.Errorf("flips = %d after oscillation, want exactly 1", got)
+	}
+	// Recovery is a single clean transition.
+	fillWindow(d, 100, 0)
+	if d.active() || d.flips.Load() != 2 {
+		t.Fatalf("clean window: active=%v flips=%d, want off/2", d.active(), d.flips.Load())
+	}
+}
+
+func TestHealthzShape(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	if h.MaxUnits <= 0 {
+		t.Errorf("max_units = %d, want > 0", h.MaxUnits)
+	}
+	if h.InFlightUnits != 0 || h.QueueDepth != 0 {
+		t.Errorf("idle server reports in_flight=%d queue=%d", h.InFlightUnits, h.QueueDepth)
+	}
+
+	// Draining: 503, Retry-After, and the body says so.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Error("draining healthz missing Retry-After")
+	}
+	var hd HealthResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&hd); err != nil {
+		t.Fatal(err)
+	}
+	if hd.Status != "draining" {
+		t.Errorf("draining status = %q", hd.Status)
+	}
+}
+
 func TestApplyDegrade(t *testing.T) {
 	base := finbench.Config{BinomialSteps: 1024, GridPoints: 256, TimeSteps: 1000, MCPaths: 262144, Seed: 1}
 	m, c := applyDegrade(finbench.MonteCarlo, base, true)

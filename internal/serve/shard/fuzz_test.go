@@ -1,0 +1,39 @@
+package shard
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeHealthz asserts the health decoder's contract on arbitrary
+// bytes: either an error, or a response with a known status and sane
+// load signals. The router scores replicas by these numbers, so a
+// limping backend must never be able to feed it garbage.
+func FuzzDecodeHealthz(f *testing.F) {
+	f.Add([]byte(`{"status":"ok","in_flight_units":5,"max_units":100,"queue_depth":0,"uptime_s":1.5}`))
+	f.Add([]byte(`{"status":"draining","in_flight_units":0,"max_units":1,"queue_depth":0,"uptime_s":0}`))
+	f.Add([]byte(`{"status":"exploded"}`))
+	f.Add([]byte(`{"status":"ok","queue_depth":-1}`))
+	f.Add([]byte(`{"status":"ok","uptime_s":1e999}`))
+	f.Add([]byte(`{"status":"ok"}{"status":"ok"}`))
+	f.Add([]byte(`nonsense`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHealth(data)
+		if err != nil {
+			return
+		}
+		if h == nil {
+			t.Fatal("nil response with nil error")
+		}
+		if h.Status != "ok" && h.Status != "draining" {
+			t.Fatalf("unknown status %q accepted", h.Status)
+		}
+		if h.InFlightUnits < 0 || h.MaxUnits < 0 || h.QueueDepth < 0 {
+			t.Fatalf("negative load signal accepted: %+v", h)
+		}
+		if math.IsNaN(h.UptimeS) || math.IsInf(h.UptimeS, 0) || h.UptimeS < 0 {
+			t.Fatalf("bad uptime accepted: %v", h.UptimeS)
+		}
+	})
+}

@@ -1,0 +1,496 @@
+// Package shard is the fault-tolerant replica router of the serving
+// tier: it fronts N finserve backends, health-checks them through GET
+// /healthz, scores them least-loaded (router-side in-flight plus the
+// backend's reported work units and admission-queue depth), and guards
+// each with a circuit breaker. Failed attempts fail over to a different
+// replica with the dead one excluded for the rest of the request;
+// optional hedging races a second replica after a delay for tail
+// latency.
+//
+// The PR 4 bit-reproducibility invariant survives routing: every 200
+// the router forwards is byte-for-byte what one backend produced, and
+// backends answer identically for identical effective configs, so a
+// routed 200 is bit-identical to a single-process answer. The one
+// method whose answers are decomposition-dependent — Monte Carlo — is
+// never retried or hedged: it gets exactly one attempt, and any failure
+// surfaces to the client rather than risking a second, differently
+// seeded execution being presented as the first.
+//
+// A 200 whose body is not valid JSON (a truncating fault, a dying
+// replica) is treated as a replica failure and failed over — the router
+// never forwards a corrupt 200.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finbench/internal/resilience"
+)
+
+// maxProxyBody bounds request and response bodies the router will carry
+// (matches the backend's own request-body cap).
+const maxProxyBody = 64 << 20
+
+// Config tunes a Router; zero values select the defaults.
+type Config struct {
+	// Backends are the replica base URLs (e.g. http://127.0.0.1:9101).
+	Backends []string
+
+	// HealthInterval is the health-check period (default 100ms);
+	// HealthTimeout bounds one probe (default 250ms).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+
+	// MaxAttempts bounds attempts per request, first try included
+	// (default 3). Monte Carlo requests always get exactly one.
+	MaxAttempts int
+
+	// HedgeDelay launches a second attempt on another replica when the
+	// first has not answered within this delay; 0 disables hedging.
+	// Monte Carlo is never hedged.
+	HedgeDelay time.Duration
+
+	// Backoff shapes the retry delays. Breaker tunes the per-replica
+	// circuit breakers.
+	Backoff resilience.Backoff
+	Breaker resilience.BreakerConfig
+
+	// BudgetRatio/BudgetCap configure the global retry budget (tokens
+	// earned per request / token cap; defaults 0.2 and 50). A negative
+	// ratio disables the budget.
+	BudgetRatio float64
+	BudgetCap   float64
+
+	// Transport overrides the backend round-tripper (tests inject
+	// faults here); nil means http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 100 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 250 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	return c
+}
+
+// replica is one backend and its router-side view.
+type replica struct {
+	url     string
+	breaker *resilience.Breaker
+
+	healthy  atomic.Bool
+	draining atomic.Bool
+	// loadUnits is the backend-reported load signal: in-flight work
+	// units plus a large penalty per queued request (a non-empty
+	// admission queue means the replica is saturated).
+	loadUnits atomic.Int64
+	// inflight counts requests this router currently has outstanding on
+	// the replica — the freshest load signal between health sweeps.
+	inflight atomic.Int64
+	served   atomic.Uint64
+}
+
+// routable reports whether the replica should receive new requests.
+func (rep *replica) routable() bool {
+	return rep.healthy.Load() && !rep.draining.Load() &&
+		rep.breaker.State() != resilience.Open
+}
+
+// Router fronts a set of replicas. Build with New, then Start the
+// health loop; Close stops it.
+type Router struct {
+	cfg      Config
+	replicas []*replica
+	client   *http.Client
+	budget   *resilience.Budget
+	start    time.Time
+
+	requests     atomic.Uint64
+	retries      atomic.Uint64
+	failovers    atomic.Uint64
+	hedges       atomic.Uint64
+	hedgeWins    atomic.Uint64
+	noReplica    atomic.Uint64
+	corrupt      atomic.Uint64
+	healthSweeps atomic.Uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New builds a router over cfg.Backends. It does not start the health
+// loop; replicas begin optimistically healthy so routing works before
+// the first sweep.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("shard: no backends configured")
+	}
+	r := &Router{
+		cfg:    cfg,
+		client: &http.Client{Transport: cfg.Transport},
+		start:  time.Now(),
+		stop:   make(chan struct{}),
+	}
+	if cfg.BudgetRatio >= 0 {
+		r.budget = resilience.NewBudget(cfg.BudgetRatio, cfg.BudgetCap)
+	}
+	for _, u := range cfg.Backends {
+		rep := &replica{url: u, breaker: resilience.NewBreaker(cfg.Breaker)}
+		rep.healthy.Store(true)
+		r.replicas = append(r.replicas, rep)
+	}
+	return r, nil
+}
+
+// Start runs one synchronous health sweep (so obviously-dead replicas
+// are excluded from the first request) and launches the periodic loop.
+func (r *Router) Start() {
+	r.checkAll()
+	r.wg.Add(1)
+	go r.healthLoop()
+}
+
+// Close stops the health loop.
+func (r *Router) Close() {
+	r.once.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// ServeHTTP implements http.Handler: /price and /greeks are routed to
+// replicas; /statsz and /healthz report the router's own state.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	switch req.URL.Path {
+	case "/price", "/greeks":
+		r.route(w, req)
+	case "/statsz":
+		r.handleStatsz(w, req)
+	case "/healthz":
+		r.handleHealthz(w, req)
+	default:
+		writeError(w, http.StatusNotFound, "no such endpoint")
+	}
+}
+
+// reqState is the per-request routing state shared by retry attempts
+// and concurrent hedge legs.
+type reqState struct {
+	mu       sync.Mutex
+	excluded map[*replica]bool // failed this request; never re-picked
+	inUse    map[*replica]int  // attempts currently running (hedge diversity)
+	attempts atomic.Int32
+}
+
+// backendResult is one backend response, fully read.
+type backendResult struct {
+	status     int
+	body       []byte
+	contentTyp string
+	retryAfter string
+	rep        *replica
+}
+
+// httpFailure carries a retryable backend response (503 shed/drain,
+// 429, 5xx, corrupt 200) through the retry machinery so the last one
+// can still be passed through when every attempt fails the same way.
+type httpFailure struct {
+	res *backendResult
+}
+
+func (e *httpFailure) Error() string {
+	return fmt.Sprintf("replica %s answered %d", e.res.rep.url, e.res.status)
+}
+
+var errNoReplica = errors.New("no routable replica")
+
+// route proxies one pricing request with retry, failover and optional
+// hedging.
+func (r *Router) route(w http.ResponseWriter, req *http.Request) {
+	r.requests.Add(1)
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxProxyBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+
+	// Sniff the method and deadline. A body that does not decode is
+	// still forwarded (the backend owns validation and answers 400).
+	var sniff struct {
+		Method     string `json:"method"`
+		DeadlineMS int64  `json:"deadline_ms"`
+	}
+	_ = json.Unmarshal(body, &sniff)
+	monteCarlo := sniff.Method == "monte-carlo"
+
+	ctx := req.Context()
+	if sniff.DeadlineMS > 0 {
+		// The deadline travels in the body and the backend enforces it;
+		// mirroring it here bounds retries and backoff waits too.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(sniff.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	// Monte Carlo answers depend on the batch decomposition, so a
+	// second execution is not "the same answer, again" — it gets
+	// exactly one attempt and no hedge.
+	attempts := r.cfg.MaxAttempts
+	hedgeN := 1
+	if monteCarlo {
+		attempts = 1
+	} else if r.cfg.HedgeDelay > 0 && len(r.replicas) > 1 {
+		hedgeN = 2
+	}
+
+	st := &reqState{
+		excluded: make(map[*replica]bool),
+		inUse:    make(map[*replica]int),
+	}
+	var final *backendResult
+	hedgeWon := false
+	retryCount := 0 // sequential retries only; hedge legs are not retries
+
+	err = resilience.Retry(ctx, attempts, r.cfg.Backoff, r.budget, func(ctx context.Context, attempt int) error {
+		if attempt > 0 {
+			retryCount++
+			r.retries.Add(1)
+			st.mu.Lock()
+			failedOver := len(st.excluded) > 0
+			st.mu.Unlock()
+			if failedOver {
+				r.failovers.Add(1)
+			}
+		}
+		res, idx, err := resilience.Hedge(ctx, r.cfg.HedgeDelay, hedgeN, func(hctx context.Context, h int) (*backendResult, error) {
+			if h > 0 {
+				r.hedges.Add(1)
+			}
+			return r.attemptOnce(hctx, req.Method, req.URL.Path, body, st)
+		})
+		if err != nil {
+			var hf *httpFailure
+			if errors.As(err, &hf) {
+				final = hf.res
+			}
+			return err
+		}
+		if idx > 0 {
+			r.hedgeWins.Add(1)
+			hedgeWon = true
+		}
+		final = res
+		return nil
+	})
+
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusRequestTimeout, "routing deadline exceeded")
+		case errors.Is(err, errNoReplica):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "no routable replica")
+		case errors.Is(err, context.Canceled):
+			// Client went away; nothing useful to write.
+		default:
+			var hf *httpFailure
+			if errors.As(err, &hf) && final != nil {
+				r.passThrough(w, final, st, hedgeWon, retryCount)
+				return
+			}
+			writeError(w, http.StatusBadGateway, "replica unreachable: "+err.Error())
+		}
+		return
+	}
+	r.passThrough(w, final, st, hedgeWon, retryCount)
+}
+
+// passThrough forwards a backend response verbatim, plus the routing
+// headers loadgen's resilience metrics are built from: Attempts counts
+// every replica attempt including hedge legs, Retries only sequential
+// re-attempts.
+func (r *Router) passThrough(w http.ResponseWriter, res *backendResult, st *reqState, hedgeWon bool, retries int) {
+	h := w.Header()
+	if res.contentTyp != "" {
+		h.Set("Content-Type", res.contentTyp)
+	}
+	if res.retryAfter != "" {
+		h.Set("Retry-After", res.retryAfter)
+	}
+	h.Set("X-Finserve-Replica", res.rep.url)
+	h.Set("X-Finserve-Attempts", fmt.Sprintf("%d", st.attempts.Load()))
+	h.Set("X-Finserve-Retries", fmt.Sprintf("%d", retries))
+	if hedgeWon {
+		h.Set("X-Finserve-Hedge", "won")
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// attemptOnce picks a replica, sends the request, and classifies the
+// outcome: (res, nil) for responses that may be forwarded as-is (valid
+// 200s and 4xx), *httpFailure for retryable statuses, a bare error for
+// transport-level failures. It brackets the breaker: exactly one
+// Success/Failure per admission.
+func (r *Router) attemptOnce(ctx context.Context, method, path string, body []byte, st *reqState) (*backendResult, error) {
+	rep := r.pick(st)
+	if rep == nil {
+		r.noReplica.Add(1)
+		return nil, errNoReplica
+	}
+	st.attempts.Add(1)
+	rep.inflight.Add(1)
+	defer func() {
+		rep.inflight.Add(-1)
+		st.mu.Lock()
+		st.inUse[rep]--
+		st.mu.Unlock()
+	}()
+
+	hreq, err := http.NewRequestWithContext(ctx, method, rep.url+path, bytes.NewReader(body))
+	if err != nil {
+		rep.breaker.Success() // request construction is not the replica's fault
+		return nil, resilience.Permanent(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		return nil, r.replicaFailed(ctx, st, rep, fmt.Errorf("replica %s: %w", rep.url, err))
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	_ = resp.Body.Close() // the read error above is the signal that matters
+	if err != nil {
+		// Connection reset or truncated mid-body.
+		return nil, r.replicaFailed(ctx, st, rep, fmt.Errorf("replica %s: reading response: %w", rep.url, err))
+	}
+
+	res := &backendResult{
+		status:     resp.StatusCode,
+		body:       respBody,
+		contentTyp: resp.Header.Get("Content-Type"),
+		retryAfter: resp.Header.Get("Retry-After"),
+		rep:        rep,
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if !json.Valid(respBody) {
+			// A truncating fault can slip a short read past the HTTP
+			// framing; never forward a corrupt 200.
+			r.corrupt.Add(1)
+			return nil, r.replicaFailed(ctx, st, rep, fmt.Errorf("replica %s: corrupt 200 body", rep.url))
+		}
+		rep.breaker.Success()
+		rep.served.Add(1)
+		return res, nil
+	case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests:
+		// The replica is alive and answering — shedding is load, not
+		// brokenness, so the breaker records a success; but fail the
+		// request over so another replica can take it.
+		rep.breaker.Success()
+		r.exclude(st, rep)
+		return nil, &httpFailure{res: res}
+	case resp.StatusCode >= 500:
+		rep.breaker.Failure()
+		r.exclude(st, rep)
+		return nil, &httpFailure{res: res}
+	default:
+		// 4xx: the request itself is at fault; pass it through.
+		rep.breaker.Success()
+		return res, nil
+	}
+}
+
+// replicaFailed records a transport-level failure against rep — unless
+// the attempt was cancelled (a lost hedge race or an expired deadline
+// is not evidence the replica is broken) — and excludes it from the
+// rest of this request.
+func (r *Router) replicaFailed(ctx context.Context, st *reqState, rep *replica, err error) error {
+	if ctx.Err() != nil {
+		rep.breaker.Success()
+		return err
+	}
+	rep.breaker.Failure()
+	r.exclude(st, rep)
+	return err
+}
+
+func (r *Router) exclude(st *reqState, rep *replica) {
+	st.mu.Lock()
+	st.excluded[rep] = true
+	st.mu.Unlock()
+}
+
+// pick chooses the least-loaded routable replica that the breaker
+// admits. Three preference tiers: replicas this request has neither
+// failed on nor is currently trying (so a hedge leg lands elsewhere),
+// then untried-but-busy ones, and as a last resort a replica that
+// already failed this request — a lone replica with a transient 500 is
+// still worth a backoff-spaced retry, but never ahead of a live
+// alternative. Returns nil when nothing is admissible.
+func (r *Router) pick(st *reqState) *replica {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// The candidate order is decided under st.mu so concurrent hedge
+	// legs see each other's choices.
+	for tier := 0; tier < 3; tier++ {
+		var best *replica
+		var bestScore int64
+		for _, rep := range r.replicas {
+			if !rep.routable() {
+				continue
+			}
+			switch tier {
+			case 0:
+				if st.excluded[rep] || st.inUse[rep] > 0 {
+					continue
+				}
+			case 1:
+				if st.excluded[rep] {
+					continue
+				}
+			}
+			score := rep.inflight.Load()*1_000_000 + rep.loadUnits.Load()
+			if best == nil || score < bestScore {
+				best, bestScore = rep, score
+			}
+		}
+		if best != nil && best.breaker.Allow() {
+			st.inUse[best]++
+			return best
+		}
+		// Breaker refused the best candidate (half-open probe slots
+		// exhausted, or it tripped between routable() and Allow);
+		// fall through to the next tier rather than scanning again —
+		// the retry loop's backoff handles the rest.
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,537 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"finbench/internal/resilience"
+	"finbench/internal/serve"
+)
+
+// newBackends spins up n real pricing servers and returns their URLs
+// plus per-backend handles for drain/close manipulation.
+func newBackends(t *testing.T, n int) ([]string, []*serve.Server, []*httptest.Server) {
+	t.Helper()
+	urls := make([]string, n)
+	servers := make([]*serve.Server, n)
+	https := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		s := serve.New(serve.Config{})
+		hs := httptest.NewServer(s.Handler())
+		t.Cleanup(hs.Close)
+		t.Cleanup(s.Close)
+		urls[i], servers[i], https[i] = hs.URL, s, hs
+	}
+	return urls, servers, https
+}
+
+func newRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	t.Cleanup(r.Close)
+	return r
+}
+
+func priceBody(method string, n int) []byte {
+	var b strings.Builder
+	b.WriteString(`{"options":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"spot":%d,"strike":100,"expiry":1}`, 90+i%20)
+	}
+	b.WriteString(`]`)
+	if method != "" {
+		fmt.Fprintf(&b, `,"method":%q`, method)
+	}
+	b.WriteString(`}`)
+	return []byte(b.String())
+}
+
+func post(t *testing.T, url, path string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestRoutedBitIdentical: a 200 through the router must be
+// bit-identical to the same request against a lone backend — the
+// reproducibility invariant survives routing.
+func TestRoutedBitIdentical(t *testing.T) {
+	urls, _, _ := newBackends(t, 3)
+	router := newRouter(t, Config{Backends: urls})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	for _, method := range []string{"", "binomial-tree", "monte-carlo"} {
+		body := priceBody(method, 8)
+		resp, routed := post(t, front.URL, "/price", body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("method %q: routed status %d: %s", method, resp.StatusCode, routed)
+		}
+		if resp.Header.Get("X-Finserve-Replica") == "" {
+			t.Error("routed 200 missing X-Finserve-Replica")
+		}
+		dresp, direct := post(t, urls[0], "/price", body)
+		if dresp.StatusCode != 200 {
+			t.Fatalf("direct status %d", dresp.StatusCode)
+		}
+		var a, b serve.PriceResponse
+		if err := json.Unmarshal(routed, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(direct, &b); err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Results) != len(b.Results) {
+			t.Fatalf("method %q: result count %d vs %d", method, len(a.Results), len(b.Results))
+		}
+		for i := range a.Results {
+			if a.Results[i].Price != b.Results[i].Price {
+				t.Errorf("method %q option %d: routed %v direct %v", method, i, a.Results[i].Price, b.Results[i].Price)
+			}
+		}
+		if a.Method != b.Method || a.Config != b.Config {
+			t.Errorf("method %q: effective config differs: %+v vs %+v", method, a, b)
+		}
+	}
+}
+
+// TestFailoverOnDeadReplica: with health checks effectively off, the
+// router discovers a dead replica on the request path, fails over, and
+// still answers 200.
+func TestFailoverOnDeadReplica(t *testing.T) {
+	urls, _, https := newBackends(t, 3)
+	https[0].Close() // dead before the router ever saw it healthy
+
+	router, err := New(Config{
+		Backends:       urls,
+		HealthInterval: time.Hour, // force request-path discovery
+		MaxAttempts:    3,
+		Backoff:        resilience.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start(): replicas stay optimistically healthy, so the dead one
+	// is picked until the request path excludes it.
+	defer router.Close()
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	ok := 0
+	for i := 0; i < 10; i++ {
+		resp, body := post(t, front.URL, "/price", priceBody("", 4))
+		if resp.StatusCode == 200 {
+			ok++
+		} else {
+			t.Logf("request %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	if ok != 10 {
+		t.Errorf("only %d/10 requests survived a dead replica", ok)
+	}
+	snap := router.Snapshot()
+	if snap.Failovers == 0 {
+		t.Error("no failovers recorded despite a dead replica")
+	}
+}
+
+// TestHealthExcludesDeadReplica: the health loop marks a dead replica
+// unroutable so later requests never try it (no failover needed).
+func TestHealthExcludesDeadReplica(t *testing.T) {
+	urls, _, https := newBackends(t, 2)
+	router := newRouter(t, Config{
+		Backends:       urls,
+		HealthInterval: 10 * time.Millisecond,
+		HealthTimeout:  100 * time.Millisecond,
+	})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	https[0].Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := router.Snapshot()
+		if !snap.Replicas[0].Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never noticed the dead replica")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	before := router.Snapshot().Failovers
+	for i := 0; i < 5; i++ {
+		resp, body := post(t, front.URL, "/price", priceBody("", 2))
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	if got := router.Snapshot().Failovers; got != before {
+		t.Errorf("failovers rose %d -> %d; dead replica should have been pre-excluded", before, got)
+	}
+}
+
+// TestDrainingReplicaBypassed: a draining backend stops receiving
+// routed requests (health marks it draining) and the router still
+// answers from the live one.
+func TestDrainingReplicaBypassed(t *testing.T) {
+	urls, servers, _ := newBackends(t, 2)
+	router := newRouter(t, Config{
+		Backends:       urls,
+		HealthInterval: 10 * time.Millisecond,
+	})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	servers[0].StartDrain()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if router.Snapshot().Replicas[0].Draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never saw the drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		resp, body := post(t, front.URL, "/price", priceBody("", 2))
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d during drain: %d %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Finserve-Replica"); got == urls[0] {
+			t.Errorf("request %d routed to the draining replica", i)
+		}
+	}
+}
+
+// TestMonteCarloSingleAttempt: Monte Carlo gets exactly one attempt —
+// a failing replica surfaces the failure instead of re-running the
+// simulation; closed form retries on the same topology.
+func TestMonteCarloSingleAttempt(t *testing.T) {
+	var hits atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"status":"ok","in_flight_units":0,"max_units":1,"queue_depth":0,"uptime_s":1}`)
+			return
+		}
+		hits.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+
+	router := newRouter(t, Config{
+		Backends:    []string{bad.URL},
+		MaxAttempts: 4,
+		Backoff:     resilience.Backoff{Base: time.Millisecond, Max: time.Millisecond},
+	})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	resp, _ := post(t, front.URL, "/price", priceBody("monte-carlo", 2))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("MC against failing replica: status %d, want 500 pass-through", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("monte-carlo request hit the replica %d times, want exactly 1", got)
+	}
+
+	hits.Store(0)
+	post(t, front.URL, "/price", priceBody("", 2))
+	if got := hits.Load(); got < 2 {
+		t.Errorf("closed-form request attempted %d times, want retries", got)
+	}
+}
+
+// TestCorrupt200NeverForwarded: a replica answering 200 with an invalid
+// JSON body is treated as failed; the request fails over and the client
+// only ever sees a valid 200.
+func TestCorrupt200NeverForwarded(t *testing.T) {
+	corrupt := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"status":"ok","in_flight_units":0,"max_units":1,"queue_depth":0,"uptime_s":1}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"results":[{"pri`) // cut mid-body, still a 200
+	}))
+	defer corrupt.Close()
+	urls, _, _ := newBackends(t, 1)
+
+	router := newRouter(t, Config{
+		Backends:       []string{corrupt.URL, urls[0]},
+		HealthInterval: time.Hour,
+		MaxAttempts:    3,
+		Backoff:        resilience.Backoff{Base: time.Millisecond, Max: time.Millisecond},
+	})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	for i := 0; i < 6; i++ {
+		resp, body := post(t, front.URL, "/price", priceBody("", 2))
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: %d %s", i, resp.StatusCode, body)
+		}
+		if !json.Valid(body) {
+			t.Fatalf("request %d: router forwarded a corrupt 200: %q", i, body)
+		}
+		var pr serve.PriceResponse
+		if err := json.Unmarshal(body, &pr); err != nil || len(pr.Results) != 2 {
+			t.Fatalf("request %d: implausible 200 body %q", i, body)
+		}
+	}
+	if got := router.Snapshot().Corrupt; got == 0 {
+		t.Error("corrupt responses never counted")
+	}
+}
+
+// TestBreakerOpensAndRecovers drives a replica through fail -> breaker
+// open -> recovery -> half-open probe -> closed, observing the
+// transitions through the router's snapshot.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"status":"ok","in_flight_units":0,"max_units":1,"queue_depth":0,"uptime_s":1}`)
+			return
+		}
+		if failing.Load() {
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"results":[{"price":1}],"method":"closed-form","config":{},"engine":"scalar","elapsed_us":1}`)
+	}))
+	defer flaky.Close()
+
+	router := newRouter(t, Config{
+		Backends:       []string{flaky.URL},
+		HealthInterval: time.Hour,
+		MaxAttempts:    1, // isolate breaker behavior from retries
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: 3,
+			OpenFor:          30 * time.Millisecond,
+		},
+	})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	// Trip it.
+	for i := 0; i < 3; i++ {
+		post(t, front.URL, "/price", priceBody("", 1))
+	}
+	snap := router.Snapshot()
+	if snap.Replicas[0].Breaker.State != "open" {
+		t.Fatalf("breaker state %q after %d failures, want open", snap.Replicas[0].Breaker.State, 3)
+	}
+	if snap.Replicas[0].Breaker.Opens == 0 {
+		t.Fatal("no opens counted")
+	}
+	// While open the sole replica is unroutable -> fast 503.
+	resp, _ := post(t, front.URL, "/price", priceBody("", 1))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("no-replica 503 missing Retry-After")
+	}
+
+	// Recover the replica, wait out OpenFor, and watch a probe close it.
+	failing.Store(false)
+	time.Sleep(40 * time.Millisecond)
+	resp, body := post(t, front.URL, "/price", priceBody("", 1))
+	if resp.StatusCode != 200 {
+		t.Fatalf("probe after recovery: %d %s", resp.StatusCode, body)
+	}
+	snap = router.Snapshot()
+	if snap.Replicas[0].Breaker.State != "closed" {
+		t.Errorf("breaker state %q after successful probe, want closed", snap.Replicas[0].Breaker.State)
+	}
+}
+
+// TestHedgeWinsOnSlowReplica: with the first-listed replica limping,
+// the hedge fires after HedgeDelay and the fast replica's answer wins.
+func TestHedgeWinsOnSlowReplica(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"status":"ok","in_flight_units":0,"max_units":1,"queue_depth":0,"uptime_s":1}`)
+			return
+		}
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"results":[{"price":1}],"method":"closed-form","config":{},"engine":"scalar","elapsed_us":1}`)
+	}))
+	defer slow.Close()
+	urls, _, _ := newBackends(t, 1)
+
+	router := newRouter(t, Config{
+		Backends:       []string{slow.URL, urls[0]},
+		HealthInterval: time.Hour,
+		HedgeDelay:     10 * time.Millisecond,
+		MaxAttempts:    1,
+	})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	start := time.Now()
+	resp, body := post(t, front.URL, "/price", priceBody("", 2))
+	if resp.StatusCode != 200 {
+		t.Fatalf("hedged request failed: %d %s", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("hedge did not rescue tail latency: %v", elapsed)
+	}
+	if got := resp.Header.Get("X-Finserve-Hedge"); got != "won" {
+		t.Errorf("X-Finserve-Hedge = %q, want \"won\"", got)
+	}
+	if got := resp.Header.Get("X-Finserve-Replica"); got != urls[0] {
+		t.Errorf("winner replica %q, want the fast one %q", got, urls[0])
+	}
+	snap := router.Snapshot()
+	if snap.Hedges == 0 || snap.HedgeWins == 0 {
+		t.Errorf("hedge counters empty: %+v", snap)
+	}
+}
+
+// TestAllReplicasDown: every backend dead -> 502/503, never a hang.
+func TestAllReplicasDown(t *testing.T) {
+	urls, _, https := newBackends(t, 2)
+	for _, hs := range https {
+		hs.Close()
+	}
+	router := newRouter(t, Config{
+		Backends:       urls,
+		HealthInterval: 10 * time.Millisecond,
+		MaxAttempts:    2,
+		Backoff:        resilience.Backoff{Base: time.Millisecond, Max: time.Millisecond},
+	})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	resp, _ := post(t, front.URL, "/price", priceBody("", 2))
+	if resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("all-dead status %d, want 503 or 502", resp.StatusCode)
+	}
+
+	// Router /healthz goes unroutable once health checks catch up.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(front.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router /healthz never reported unroutable")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRouterStatszShape: the statsz body decodes and carries replica
+// breaker snapshots.
+func TestRouterStatszShape(t *testing.T) {
+	urls, _, _ := newBackends(t, 2)
+	router := newRouter(t, Config{Backends: urls})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	post(t, front.URL, "/price", priceBody("", 2))
+	resp, err := http.Get(front.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap StatszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Replicas) != 2 || snap.Requests == 0 {
+		t.Fatalf("statsz %+v", snap)
+	}
+	for _, rs := range snap.Replicas {
+		if rs.Breaker.State == "" {
+			t.Errorf("replica %s missing breaker snapshot", rs.URL)
+		}
+	}
+}
+
+// TestPassThrough4xx: a 400 from the backend is the client's fault —
+// passed through untouched, not retried.
+func TestPassThrough4xx(t *testing.T) {
+	urls, _, _ := newBackends(t, 1)
+	router := newRouter(t, Config{Backends: urls, MaxAttempts: 3})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	resp, body := post(t, front.URL, "/price", []byte(`{"options":[]}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty options: %d %s", resp.StatusCode, body)
+	}
+	var e serve.ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("error body not passed through: %q", body)
+	}
+	if got := router.Snapshot().Retries; got != 0 {
+		t.Errorf("4xx was retried %d times", got)
+	}
+}
+
+func TestDecodeHealthValidates(t *testing.T) {
+	good := `{"status":"ok","in_flight_units":5,"max_units":100,"queue_depth":0,"uptime_s":1.5}`
+	if _, err := DecodeHealth([]byte(good)); err != nil {
+		t.Fatalf("valid body rejected: %v", err)
+	}
+	for _, bad := range []string{
+		``,
+		`{}`, // unknown status ""
+		`{"status":"exploded"}`,
+		`{"status":"ok","in_flight_units":-1}`,
+		`{"status":"ok","queue_depth":-3}`,
+		`{"status":"ok","uptime_s":-1}`,
+		`{"status":"ok","surprise_field":1}`,
+		`{"status":"ok"}{"status":"ok"}`,
+		`[1,2,3]`,
+	} {
+		if _, err := DecodeHealth([]byte(bad)); err == nil {
+			t.Errorf("DecodeHealth(%q) accepted garbage", bad)
+		}
+	}
+	if _, err := DecodeHealth(bytes.Repeat([]byte(" "), maxHealthBody+1)); err == nil {
+		t.Error("oversized body accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"net/http"
+	"time"
+
+	"finbench/internal/resilience"
+)
+
+// ReplicaStatus is one replica's observable routing state.
+type ReplicaStatus struct {
+	URL       string                     `json:"url"`
+	Healthy   bool                       `json:"healthy"`
+	Draining  bool                       `json:"draining"`
+	Routable  bool                       `json:"routable"`
+	LoadUnits int64                      `json:"load_units"`
+	Inflight  int64                      `json:"inflight"`
+	Served    uint64                     `json:"served"`
+	Breaker   resilience.BreakerSnapshot `json:"breaker"`
+}
+
+// StatszResponse is the router's GET /statsz body.
+type StatszResponse struct {
+	Replicas []ReplicaStatus `json:"replicas"`
+
+	Requests     uint64 `json:"requests"`
+	Retries      uint64 `json:"retries"`
+	Failovers    uint64 `json:"failovers"`
+	Hedges       uint64 `json:"hedges"`
+	HedgeWins    uint64 `json:"hedge_wins"`
+	NoReplica    uint64 `json:"no_replica"`
+	Corrupt      uint64 `json:"corrupt_responses"`
+	BudgetSpent  uint64 `json:"retry_budget_spent"`
+	BudgetDenied uint64 `json:"retry_budget_denied"`
+	HealthSweeps uint64 `json:"health_sweeps"`
+
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// HealthzResponse is the router's GET /healthz body.
+type HealthzResponse struct {
+	Status        string `json:"status"`
+	RoutableCount int    `json:"replicas_routable"`
+	TotalCount    int    `json:"replicas_total"`
+}
+
+// Snapshot assembles the current StatszResponse.
+func (r *Router) Snapshot() StatszResponse {
+	snap := StatszResponse{
+		Requests:     r.requests.Load(),
+		Retries:      r.retries.Load(),
+		Failovers:    r.failovers.Load(),
+		Hedges:       r.hedges.Load(),
+		HedgeWins:    r.hedgeWins.Load(),
+		NoReplica:    r.noReplica.Load(),
+		Corrupt:      r.corrupt.Load(),
+		HealthSweeps: r.healthSweeps.Load(),
+		UptimeS:      time.Since(r.start).Seconds(),
+	}
+	snap.BudgetSpent, snap.BudgetDenied = r.budget.Counters()
+	for _, rep := range r.replicas {
+		snap.Replicas = append(snap.Replicas, ReplicaStatus{
+			URL:       rep.url,
+			Healthy:   rep.healthy.Load(),
+			Draining:  rep.draining.Load(),
+			Routable:  rep.routable(),
+			LoadUnits: rep.loadUnits.Load(),
+			Inflight:  rep.inflight.Load(),
+			Served:    rep.served.Load(),
+			Breaker:   rep.breaker.Snapshot(),
+		})
+	}
+	return snap
+}
+
+func (r *Router) handleStatsz(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	snap := r.Snapshot()
+	writeJSON(w, http.StatusOK, &snap)
+}
+
+// handleHealthz reports the router's own liveness: 200 while at least
+// one replica is routable, 503 otherwise (so a front-tier load balancer
+// can drain a router whose whole shard is down).
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	h := HealthzResponse{Status: "ok", TotalCount: len(r.replicas)}
+	for _, rep := range r.replicas {
+		if rep.routable() {
+			h.RoutableCount++
+		}
+	}
+	if h.RoutableCount == 0 {
+		h.Status = "unroutable"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, &h)
+		return
+	}
+	writeJSON(w, http.StatusOK, &h)
+}

@@ -6,9 +6,11 @@
 # BENCH_0.json; see README "Continuous benchmarking"), the tier-1 test
 # suite, the race detector over the concurrency-heavy packages, the fuzz
 # seed corpora, the finserve e2e smoke gate (scripts/e2e_smoke.sh; see
-# README "Serving"), and finlint (the custom static-analysis suite enforcing
-# the kernel-safety invariants; see README "Static analysis & CI gate")
-# with its self-test.
+# README "Serving"), the chaos smoke gate (scripts/chaos_smoke.sh; the
+# sharded router under seeded fault injection and a replica kill — see
+# README "Resilience & sharding"), and finlint (the custom static-analysis
+# suite enforcing the kernel-safety invariants; see README "Static
+# analysis & CI gate") with its self-test.
 #
 # Usage: ./scripts/check.sh
 #
@@ -55,7 +57,7 @@ echo "==> tier-1: go test ./..."
 go test -timeout 10m ./...
 
 if [[ "${CHECK_QUICK:-0}" == "1" ]]; then
-	echo "==> CHECK_QUICK=1: skipping race detector, fuzz seed and e2e smoke stages"
+	echo "==> CHECK_QUICK=1: skipping race detector, fuzz seed, e2e and chaos smoke stages"
 else
 	echo "==> race detector on concurrency-heavy packages"
 	go test -race -count=1 -timeout 15m \
@@ -64,15 +66,22 @@ else
 		./internal/brownian \
 		./internal/rng \
 		./internal/bench \
+		./internal/resilience \
+		./internal/fault \
 		./internal/serve \
-		./internal/serve/coalesce
+		./internal/serve/coalesce \
+		./internal/serve/shard
 
 	echo "==> fuzz seed corpora"
 	go test -run='^Fuzz' -count=1 -timeout 10m \
-		./internal/mathx ./internal/rng ./internal/blackscholes ./internal/serve
+		./internal/mathx ./internal/rng ./internal/blackscholes \
+		./internal/serve ./internal/serve/shard
 
 	echo "==> e2e smoke: finserve boot + loadgen gates"
 	./scripts/e2e_smoke.sh
+
+	echo "==> chaos smoke: sharded router under seeded faults + replica kill"
+	./scripts/chaos_smoke.sh
 fi
 
 # finlint is also built once and reused for both the main run and the
