@@ -1,4 +1,8 @@
-package finbench
+// The benchmarks live in an external test package (finbench_test) so
+// they can import internal/bench, which since the servepath experiment
+// transitively imports the root package through internal/serve; an
+// in-package test would make that a cycle.
+package finbench_test
 
 // One testing.B benchmark per paper artifact (DESIGN.md experiment index).
 // Each benchmark reports host throughput in the figure's natural unit via
@@ -9,6 +13,7 @@ package finbench
 import (
 	"testing"
 
+	"finbench"
 	"finbench/internal/bench"
 	"finbench/internal/binomial"
 	"finbench/internal/blackscholes"
@@ -196,19 +201,19 @@ func BenchmarkFig8CrankNicolsonSIMDSplit(b *testing.B) { benchCN(b, cranknicolso
 // --- Public batch API (the ninjagap example's ladder) ---
 
 func BenchmarkBatchAPILevels(b *testing.B) {
-	for _, level := range []OptLevel{LevelBasic, LevelIntermediate, LevelAdvanced} {
+	for _, level := range []finbench.OptLevel{finbench.LevelBasic, finbench.LevelIntermediate, finbench.LevelAdvanced} {
 		b.Run(level.String(), func(b *testing.B) {
 			const n = 100000
-			batch := NewBatch(n)
+			batch := finbench.NewBatch(n)
 			for i := 0; i < n; i++ {
 				batch.Spots[i] = 50 + float64(i%150)
 				batch.Strikes[i] = 50 + float64((i*7)%150)
 				batch.Expiries[i] = 0.1 + float64(i%40)/8
 			}
-			mkt := Market{Rate: 0.02, Volatility: 0.3}
+			mkt := finbench.Market{Rate: 0.02, Volatility: 0.3}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := PriceBatch(batch, mkt, level); err != nil {
+				if err := finbench.PriceBatch(batch, mkt, level); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -224,6 +229,9 @@ func TestModelExperiments(t *testing.T) {
 		t.Skip("model runs in -short mode")
 	}
 	for _, e := range bench.Experiments() {
+		if e.Model == nil {
+			continue // host-only experiments (servepath) have no model
+		}
 		res, err := e.Model(0.05)
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)

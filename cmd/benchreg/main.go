@@ -158,6 +158,8 @@ func checkCmd(args []string) error {
 	candidatePath := fs.String("candidate", "", "candidate snapshot; empty runs a fresh one")
 	maxSlowdown := fs.Float64("max-slowdown", benchreg.DefaultGate().MaxSlowdown, "tolerated fractional throughput drop")
 	madFactor := fs.Float64("mad-factor", benchreg.DefaultGate().MADFactor, "noise band width in MADs")
+	maxAllocIncrease := fs.Float64("max-alloc-increase", benchreg.DefaultGate().MaxAllocIncrease, "tolerated fractional allocs/op growth on gated records")
+	allocSlack := fs.Float64("alloc-slack", benchreg.DefaultGate().AllocSlack, "absolute allocs/op allowance on top of -max-alloc-increase")
 	strictEnv := fs.Bool("strict-env", false, "gate even when environment fingerprints differ")
 	out := fs.String("o", "", "also save the candidate snapshot here")
 	mdOut := fs.String("md", "", "also write the markdown delta table here ('-' for stdout)")
@@ -188,7 +190,10 @@ func checkCmd(args []string) error {
 			return err
 		}
 	}
-	gate := benchreg.Gate{MaxSlowdown: *maxSlowdown, MADFactor: *madFactor}
+	gate := benchreg.Gate{
+		MaxSlowdown: *maxSlowdown, MADFactor: *madFactor,
+		MaxAllocIncrease: *maxAllocIncrease, AllocSlack: *allocSlack,
+	}
 	report := benchreg.Check(baseline, candidate, gate)
 	fmt.Print(report.Table())
 	if *mdOut == "-" {
@@ -199,8 +204,9 @@ func checkCmd(args []string) error {
 		}
 	}
 	if report.Failed(*strictEnv) {
-		return fmt.Errorf("%d kernel(s) regressed beyond %.0f%%+%gxMAD",
-			len(report.Regressions), gate.MaxSlowdown*100, gate.MADFactor)
+		return fmt.Errorf("%d kernel(s) regressed beyond %.0f%%+%gxMAD (throughput) or +%.0f%%+%g (allocs/op)",
+			len(report.Regressions), gate.MaxSlowdown*100, gate.MADFactor,
+			gate.MaxAllocIncrease*100, gate.AllocSlack)
 	}
 	if len(report.Regressions) > 0 {
 		fmt.Printf("benchreg: %d regression(s) on a mismatched environment — advisory only (use -strict-env to gate)\n",

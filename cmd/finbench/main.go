@@ -108,6 +108,11 @@ func report(args []string) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# finbench report\n\nWorkload scale %.2f. Model columns are predicted SNB-EP/KNC\nthroughput from measured operation mixes; see EXPERIMENTS.md for\nprovenance of the paper columns.\n\n", *scale)
 	for _, e := range bench.Experiments() {
+		if e.Model == nil {
+			// Host-only experiments (servepath) have no paper column to
+			// model; their numbers live in benchreg snapshots.
+			continue
+		}
 		res, err := e.Model(*scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "finbench: %s: %v\n", e.ID, err)
@@ -137,11 +142,14 @@ func report(args []string) {
 func list() {
 	fmt.Printf("%-8s %-55s %s\n", "ID", "TITLE", "MEASURABLE")
 	for _, e := range bench.Experiments() {
-		m := "model"
-		if e.Measure != nil {
-			m = "model+measure"
+		var modes []string
+		if e.Model != nil {
+			modes = append(modes, "model")
 		}
-		fmt.Printf("%-8s %-55s %s\n", e.ID, e.Title, m)
+		if e.Measure != nil {
+			modes = append(modes, "measure")
+		}
+		fmt.Printf("%-8s %-55s %s\n", e.ID, e.Title, strings.Join(modes, "+"))
 	}
 }
 
@@ -173,6 +181,9 @@ func run(args []string) {
 				continue
 			}
 			runner = e.Measure
+		} else if runner == nil {
+			fmt.Printf("%s: no model mode (host-only experiment; use -mode measure)\n\n", e.ID)
+			continue
 		}
 		res, err := runner(*scale)
 		if err != nil {

@@ -4,16 +4,24 @@
 //
 // Usage:
 //
-//	finlint [-passes rngshare,hotalloc,...] [-list] [-v] [patterns ...]
+//	finlint [-passes rngshare,...] [-format text|json|github] [-json file] [-list] [-v] [patterns ...]
 //
 // Patterns are directories or recursive patterns like ./... (the default).
-// Diagnostics print one per line as "file:line: [pass] message". Suppress
-// an individual finding with "// finlint:ignore <pass> <reason>" on or
-// directly above the flagged line; mark a package's loops hot (enabling
-// hotalloc) with "// finlint:hot".
+// Diagnostics print one per line as "file:line: [pass] message"; -format
+// json emits a machine-readable array, -format github emits workflow
+// ::error annotations for CI, and -json FILE additionally writes the
+// JSON findings to FILE regardless of the stdout format (for CI
+// artifacts). Suppress an individual finding with
+// "// finlint:ignore <pass> <reason>" on or directly above the flagged
+// line (the reason is required; the directive pass flags empty ones);
+// mark a package's loops hot (enabling the full hotalloc rule set) with
+// "// finlint:hot". Interprocedural passes walk the module call graph
+// from the HTTP handler roots; -hotalloc-depth bounds how many hops the
+// allocation sweep follows.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +29,27 @@ import (
 	"finbench/internal/lint"
 )
 
+// finding is the JSON shape of one diagnostic, stable for CI tooling.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+func toFindings(diags []lint.Diagnostic) []finding {
+	out := make([]finding, len(diags))
+	for i, d := range diags {
+		out[i] = finding{File: d.Pos.Filename, Line: d.Pos.Line, Pass: d.Pass, Message: d.Msg}
+	}
+	return out
+}
+
 func main() {
 	passList := flag.String("passes", "all", "comma-separated passes to run (or 'all')")
+	format := flag.String("format", "text", "stdout format: text, json, or github (workflow annotations)")
+	jsonPath := flag.String("json", "", "also write findings as JSON to this file (use '-' for stdout)")
+	hotallocDepth := flag.Int("hotalloc-depth", lint.DefaultHotallocDepth, "call-graph depth from HTTP handlers swept by the hotalloc pass")
 	list := flag.Bool("list", false, "list available passes and exit")
 	verbose := flag.Bool("v", false, "also print loader/type-checker notes to stderr")
 	flag.Usage = func() {
@@ -36,6 +63,10 @@ func main() {
 			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
 		}
 		return
+	}
+	if *format != "text" && *format != "json" && *format != "github" {
+		fmt.Fprintf(os.Stderr, "finlint: unknown -format %q (want text, json, or github)\n", *format)
+		os.Exit(2)
 	}
 
 	passes, err := lint.SelectPasses(*passList)
@@ -62,12 +93,51 @@ func main() {
 		}
 	}
 
-	diags := lint.Run(pkgs, passes)
-	for _, d := range diags {
-		fmt.Println(d)
+	diags := lint.RunConfig(pkgs, passes, lint.Config{HotallocDepth: *hotallocDepth})
+
+	switch *format {
+	case "json":
+		writeJSON(os.Stdout, diags)
+	case "github":
+		for _, d := range diags {
+			// One annotation per finding; GitHub renders these inline on
+			// the PR diff. Newlines in messages would break the protocol,
+			// but pass messages are single-line by construction.
+			fmt.Printf("::error file=%s,line=%d,title=finlint(%s)::%s\n", d.Pos.Filename, d.Pos.Line, d.Pass, d.Msg)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
+	if *jsonPath != "" && *jsonPath != "-" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "finlint:", err)
+			os.Exit(2)
+		}
+		writeJSON(f, diags)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "finlint:", err)
+			os.Exit(2)
+		}
+	} else if *jsonPath == "-" && *format != "json" {
+		writeJSON(os.Stdout, diags)
+	}
+
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "finlint: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
+	}
+}
+
+// writeJSON emits the findings array. An empty run writes "[]", never
+// "null", so downstream jq/CI scripts can rely on the shape.
+func writeJSON(w *os.File, diags []lint.Diagnostic) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(toFindings(diags)); err != nil {
+		fmt.Fprintln(os.Stderr, "finlint:", err)
+		os.Exit(2)
 	}
 }

@@ -76,6 +76,12 @@ type Row struct {
 	HostReps int
 	// HostItems is the work-item count per kernel invocation.
 	HostItems int
+	// HostAllocs is the median heap allocations per kernel invocation.
+	HostAllocs float64
+	// GateAllocs marks rows whose allocs/op is a per-request budget the
+	// snapshot gate enforces (serve-path rows: one invocation = one
+	// request).
+	GateAllocs bool
 }
 
 // Result is a regenerated table/figure.
@@ -101,7 +107,8 @@ type Experiment struct {
 	Units       string
 	Description string
 	// Model regenerates the paper comparison; scale (0,1] shrinks the
-	// workload for quick runs (1 = full experiment size).
+	// workload for quick runs (1 = full experiment size). Nil for
+	// host-only experiments (servepath) with no paper column to model.
 	Model func(scale float64) (*Result, error)
 	// Measure times the kernels on the host; nil when not applicable.
 	Measure func(scale float64) (*Result, error)
@@ -241,5 +248,5 @@ func timeIt(items int, f func()) benchreg.Sample {
 // hostRow builds a Measure-mode row from one timed kernel.
 func hostRow(label string, items int, f func()) Row {
 	s := timeIt(items, f)
-	return Row{Label: label, Host: s.OpsPerSec, HostMAD: s.OpsMAD, HostReps: s.Reps, HostItems: s.Items}
+	return Row{Label: label, Host: s.OpsPerSec, HostMAD: s.OpsMAD, HostReps: s.Reps, HostItems: s.Items, HostAllocs: s.AllocsPerOp}
 }

@@ -51,15 +51,17 @@ func Collect(scale float64, opts benchreg.Opts, only string) (*benchreg.Snapshot
 					continue
 				}
 				snap.Kernels = append(snap.Kernels, benchreg.Record{
-					Experiment: e.ID,
-					Label:      row.Label,
-					Units:      res.Units,
-					Items:      row.HostItems,
-					Reps:       row.HostReps,
-					MedianSec:  secPerCall(row),
-					MADSec:     secMAD(row),
-					OpsPerSec:  row.Host,
-					OpsMAD:     row.HostMAD,
+					Experiment:  e.ID,
+					Label:       row.Label,
+					Units:       res.Units,
+					Items:       row.HostItems,
+					Reps:        row.HostReps,
+					MedianSec:   secPerCall(row),
+					MADSec:      secMAD(row),
+					OpsPerSec:   row.Host,
+					OpsMAD:      row.HostMAD,
+					AllocsPerOp: row.HostAllocs,
+					GateAllocs:  row.GateAllocs,
 				})
 			}
 		}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"finbench/internal/serve"
+)
+
+// servepath: end-to-end latency and allocation budget of the serving
+// tier, measured through the real handler stack (admission control,
+// decode, kernel dispatch, encode) with the coalescer bypassed so one
+// invocation is exactly one request. Unlike the kernel experiments,
+// these rows gate allocs/op: a new per-request allocation on this path
+// multiplies by the request rate, and the snapshot diff rejects it even
+// when the wall-clock cost hides inside timing noise.
+
+func init() {
+	register(&Experiment{
+		ID:          "servepath",
+		Title:       "Serving-tier request path (in-process)",
+		Units:       "options/s",
+		Description: "Requests driven through serve.Server's handler in-process: closed-form /price batches and /greeks. Rows gate allocs/op in benchreg snapshots.",
+		Measure:     measureServePath,
+	})
+}
+
+// discardRecorder is a reusable http.ResponseWriter that drops the body:
+// response bytes are the server's allocations to count, not the
+// harness's to retain.
+type discardRecorder struct {
+	header http.Header
+	code   int
+}
+
+func (r *discardRecorder) Header() http.Header         { return r.header }
+func (r *discardRecorder) Write(p []byte) (int, error) { return len(p), nil }
+func (r *discardRecorder) WriteHeader(c int)           { r.code = c }
+
+func (r *discardRecorder) reset() {
+	r.code = 0
+	for k := range r.header {
+		delete(r.header, k)
+	}
+}
+
+// servePathBody builds a deterministic n-option request body for path.
+func servePathBody(path string, n int) []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"options":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// Spot/strike/expiry vary with the index so the batch is not one
+		// repeated contract, but stay fixed run to run (no RNG).
+		fmt.Fprintf(&b, `{"spot":%g,"strike":%g,"expiry":%g}`,
+			90.0+float64(i%21), 80.0+float64(i%41), 0.25+float64(i%8)*0.25)
+	}
+	b.WriteString(`]`)
+	if path == "/price" {
+		b.WriteString(`,"method":"closed-form"`)
+	}
+	b.WriteString(`}`)
+	return b.Bytes()
+}
+
+func measureServePath(scale float64) (*Result, error) {
+	// CoalesceMaxBatch 1 makes every request bypass the coalescer (no
+	// window timer on the measured path); ProfileEvery < 0 keeps the op
+	// mix sampler's instrumented reruns out of the timings.
+	s := serve.New(serve.Config{CoalesceMaxBatch: 1, ProfileEvery: -1})
+	defer s.Close()
+	h := s.Handler()
+
+	batch := scaleInt(4096, scale, 16)
+	r := &Result{
+		ID:    "servepath",
+		Title: fmt.Sprintf("Serving-tier request path (%d options/request, in-process)", batch),
+		Units: "options/s",
+	}
+	for _, ep := range []struct {
+		label, path string
+	}{
+		{"/price closed-form batch", "/price"},
+		{"/greeks closed-form batch", "/greeks"},
+	} {
+		body := servePathBody(ep.path, batch)
+		rec := &discardRecorder{header: make(http.Header)}
+		call := func() {
+			rec.reset()
+			req := httptest.NewRequest(http.MethodPost, ep.path, bytes.NewReader(body))
+			h.ServeHTTP(rec, req)
+		}
+		// One untimed probe: a non-200 would otherwise time the error
+		// path and gate on its (much smaller) allocation count.
+		call()
+		if rec.code != http.StatusOK {
+			return nil, fmt.Errorf("bench: servepath %s returned status %d", ep.path, rec.code)
+		}
+		row := hostRow(ep.label, batch, call)
+		row.GateAllocs = true
+		row.Prov = None
+		r.Rows = append(r.Rows, row)
+	}
+	r.Notes = append(r.Notes,
+		"one invocation = one request through the full handler stack (admission, decode, kernel, encode); coalescer bypassed",
+		"allocs/op rows are gated in benchreg snapshots: a new per-request allocation fails the check even inside timing noise")
+	return r, nil
+}

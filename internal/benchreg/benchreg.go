@@ -33,8 +33,11 @@ package benchreg
 
 // SchemaVersion is bumped whenever the snapshot JSON layout changes
 // incompatibly; readers refuse snapshots from a different schema rather
-// than diffing fields that silently changed meaning.
-const SchemaVersion = 1
+// than diffing fields that silently changed meaning. Schema 2 added
+// allocs_per_op/gate_allocs to kernel records; a schema-1 snapshot
+// would diff as "allocations unknown", which the gate must not treat as
+// zero.
+const SchemaVersion = 2
 
 // Snapshot is one complete benchmark run: every measured kernel's timing
 // record plus the environment it ran in.
@@ -94,6 +97,16 @@ type Record struct {
 	// the repetitions.
 	OpsPerSec float64 `json:"ops_per_sec"`
 	OpsMAD    float64 `json:"ops_mad"`
+	// AllocsPerOp is the median heap allocations per kernel invocation.
+	// It is machine-independent (same binary, same count), so the diff
+	// gate compares it without calibration scaling or a MAD noise band.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// GateAllocs marks records whose allocation count is a serving-tier
+	// contract (one invocation = one request): the gate fails the check
+	// when it grows. Kernel-throughput records leave it false — their
+	// invocations allocate working sets proportional to Items, which is
+	// a property of the workload, not a per-request budget.
+	GateAllocs bool `json:"gate_allocs,omitempty"`
 }
 
 // Key identifies a kernel across snapshots: experiment ID plus row label.
@@ -102,14 +115,15 @@ func (r Record) Key() string { return r.Experiment + " / " + r.Label }
 // FromSample builds a Record from a measured Sample.
 func FromSample(experiment, label, units string, s Sample) Record {
 	return Record{
-		Experiment: experiment,
-		Label:      label,
-		Units:      units,
-		Items:      s.Items,
-		Reps:       s.Reps,
-		MedianSec:  s.MedianSec,
-		MADSec:     s.MADSec,
-		OpsPerSec:  s.OpsPerSec,
-		OpsMAD:     s.OpsMAD,
+		Experiment:  experiment,
+		Label:       label,
+		Units:       units,
+		Items:       s.Items,
+		Reps:        s.Reps,
+		MedianSec:   s.MedianSec,
+		MADSec:      s.MADSec,
+		OpsPerSec:   s.OpsPerSec,
+		OpsMAD:      s.OpsMAD,
+		AllocsPerOp: s.AllocsPerOp,
 	}
 }

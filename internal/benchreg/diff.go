@@ -24,10 +24,22 @@ type Gate struct {
 	// MADFactor scales the noise band (3 ≈ a z-score of ~4.5 for normal
 	// noise, since MAD ≈ 0.6745 sigma).
 	MADFactor float64
+	// MaxAllocIncrease is the tolerated fractional allocs/op growth on
+	// records with GateAllocs set, and AllocSlack is an absolute
+	// allowance on top of it (sub-allocation jitter from the runtime —
+	// timer churn, map growth on a boundary — without forgiving a real
+	// new per-request allocation). Allocation counts are deterministic
+	// per binary, so there is no MAD band and no calibration scaling:
+	// new > old*(1+MaxAllocIncrease) + AllocSlack is a regression.
+	MaxAllocIncrease float64
+	AllocSlack       float64
 }
 
-// DefaultGate is the documented default: >10% slower and beyond 3xMAD.
-func DefaultGate() Gate { return Gate{MaxSlowdown: 0.10, MADFactor: 3} }
+// DefaultGate is the documented default: >10% slower and beyond 3xMAD;
+// allocs/op on gated records may grow 10% plus half an allocation.
+func DefaultGate() Gate {
+	return Gate{MaxSlowdown: 0.10, MADFactor: 3, MaxAllocIncrease: 0.10, AllocSlack: 0.5}
+}
 
 // Regression reports whether new is a regression of old under the gate.
 func (g Gate) Regression(old, new Record) bool {
@@ -37,6 +49,18 @@ func (g Gate) Regression(old, new Record) bool {
 	}
 	noise := g.MADFactor * math.Max(old.OpsMAD, new.OpsMAD)
 	return drop > noise
+}
+
+// AllocRegression reports whether new allocates meaningfully more per
+// op than old. Only records that opted in (GateAllocs on the candidate
+// side) are gated; an old record without the field (schema upgrades set
+// AllocsPerOp only going forward) still compares, since its zero can
+// only make the rule stricter, never hide growth.
+func (g Gate) AllocRegression(old, new Record) bool {
+	if !new.GateAllocs {
+		return false
+	}
+	return new.AllocsPerOp > old.AllocsPerOp*(1+g.MaxAllocIncrease)+g.AllocSlack
 }
 
 // Delta is one kernel's comparison between two snapshots.
@@ -52,6 +76,9 @@ type Delta struct {
 	Ratio float64
 	// Regression is set by the gate that produced the delta.
 	Regression bool
+	// AllocRegression reports allocs/op growth beyond the gate on a
+	// GateAllocs record (never calibration-scaled).
+	AllocRegression bool
 }
 
 // Diff compares two snapshots kernel-by-kernel under the gate, returning
@@ -94,6 +121,9 @@ func diffScaled(old, new *Snapshot, g Gate, factor float64) []Delta {
 				d.Ratio = n.OpsPerSec / scaled.OpsPerSec
 			}
 			d.Regression = g.Regression(scaled, n)
+			// Allocation counts do not drift with machine speed, so the
+			// alloc rule sees the raw baseline, not the rescaled one.
+			d.AllocRegression = g.AllocRegression(o, n)
 		case hasOld:
 			d.Units = o.Units
 			d.Old = &o
@@ -164,7 +194,7 @@ func Check(baseline, candidate *Snapshot, g Gate) *Report {
 		CandidateCreated: candidate.CreatedAt,
 	}
 	for _, d := range r.Deltas {
-		if d.Regression {
+		if d.Regression || d.AllocRegression {
 			r.Regressions = append(r.Regressions, d)
 		}
 	}
@@ -183,23 +213,39 @@ func (r *Report) Failed(strictEnv bool) bool {
 }
 
 // deltaCells renders the shared row fields of a delta.
-func deltaCells(d Delta) (oldS, newS, ratioS, verdict string) {
+func deltaCells(d Delta) (oldS, newS, ratioS, allocS, verdict string) {
 	switch {
 	case d.Old == nil:
-		return "-", fmtOps(d.New.OpsPerSec), "-", "added"
+		return "-", fmtOps(d.New.OpsPerSec), "-", fmtAllocs(d.New), "added"
 	case d.New == nil:
-		return fmtOps(d.Old.OpsPerSec), "-", "-", "removed"
+		return fmtOps(d.Old.OpsPerSec), "-", "-", "-", "removed"
 	}
 	oldS = fmtOps(d.Old.OpsPerSec) + "±" + fmtOps(d.Old.OpsMAD)
 	newS = fmtOps(d.New.OpsPerSec) + "±" + fmtOps(d.New.OpsMAD)
 	ratioS = fmt.Sprintf("%.3f", d.Ratio)
+	allocS = fmt.Sprintf("%s→%s", fmtAllocs(d.Old), fmtAllocs(d.New))
 	verdict = "ok"
-	if d.Regression {
+	switch {
+	case d.Regression && d.AllocRegression:
+		verdict = "REGRESSION+ALLOC"
+	case d.Regression:
 		verdict = "REGRESSION"
-	} else if d.Ratio > 1.10 {
+	case d.AllocRegression:
+		verdict = "ALLOC-REGRESSION"
+	case d.Ratio > 1.10:
 		verdict = "improved"
 	}
-	return oldS, newS, ratioS, verdict
+	return oldS, newS, ratioS, allocS, verdict
+}
+
+// fmtAllocs renders a record's allocs/op; gated records are starred so
+// the table shows which rows the alloc rule applies to.
+func fmtAllocs(r *Record) string {
+	s := fmt.Sprintf("%.3g", r.AllocsPerOp)
+	if r.GateAllocs {
+		s += "*"
+	}
+	return s
 }
 
 // fmtOps renders a throughput in engineering units.
@@ -226,13 +272,14 @@ func (r *Report) Table() string {
 	if !r.EnvMatch {
 		fmt.Fprintf(&b, "note: environment fingerprints differ; regressions below are advisory\n")
 	}
-	fmt.Fprintf(&b, "%-52s %-10s %18s %18s %8s %s\n", "kernel", "units", "old", "new", "ratio", "verdict")
+	fmt.Fprintf(&b, "%-52s %-10s %18s %18s %8s %14s %s\n", "kernel", "units", "old", "new", "ratio", "allocs/op", "verdict")
 	for _, d := range r.Deltas {
-		oldS, newS, ratioS, verdict := deltaCells(d)
-		fmt.Fprintf(&b, "%-52s %-10s %18s %18s %8s %s\n", d.Key, d.Units, oldS, newS, ratioS, verdict)
+		oldS, newS, ratioS, allocS, verdict := deltaCells(d)
+		fmt.Fprintf(&b, "%-52s %-10s %18s %18s %8s %14s %s\n", d.Key, d.Units, oldS, newS, ratioS, allocS, verdict)
 	}
-	fmt.Fprintf(&b, "%d kernels compared, %d regression(s) beyond %.0f%%+%gxMAD\n",
-		len(r.Deltas), len(r.Regressions), r.Gate.MaxSlowdown*100, r.Gate.MADFactor)
+	fmt.Fprintf(&b, "%d kernels compared, %d regression(s) beyond %.0f%%+%gxMAD or allocs/op +%.0f%%+%g on gated (*) rows\n",
+		len(r.Deltas), len(r.Regressions), r.Gate.MaxSlowdown*100, r.Gate.MADFactor,
+		r.Gate.MaxAllocIncrease*100, r.Gate.AllocSlack)
 	return b.String()
 }
 
@@ -248,16 +295,17 @@ func (r *Report) Markdown() string {
 	if !r.EnvMatch {
 		fmt.Fprintf(&b, "- **environment fingerprints differ** — deltas are advisory, not gated\n")
 	}
-	fmt.Fprintf(&b, "\n| kernel | units | old (median±MAD) | new (median±MAD) | ratio | verdict |\n")
-	fmt.Fprintf(&b, "|---|---|---:|---:|---:|---|\n")
+	fmt.Fprintf(&b, "\n| kernel | units | old (median±MAD) | new (median±MAD) | ratio | allocs/op | verdict |\n")
+	fmt.Fprintf(&b, "|---|---|---:|---:|---:|---:|---|\n")
 	for _, d := range r.Deltas {
-		oldS, newS, ratioS, verdict := deltaCells(d)
-		if verdict == "REGRESSION" {
-			verdict = "**REGRESSION**"
+		oldS, newS, ratioS, allocS, verdict := deltaCells(d)
+		if strings.Contains(verdict, "REGRESSION") {
+			verdict = "**" + verdict + "**"
 		}
-		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n", d.Key, d.Units, oldS, newS, ratioS, verdict)
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s |\n", d.Key, d.Units, oldS, newS, ratioS, allocS, verdict)
 	}
-	fmt.Fprintf(&b, "\n%d kernels compared, %d regression(s) beyond %.0f%% + %gxMAD.\n",
-		len(r.Deltas), len(r.Regressions), r.Gate.MaxSlowdown*100, r.Gate.MADFactor)
+	fmt.Fprintf(&b, "\n%d kernels compared, %d regression(s) beyond %.0f%% + %gxMAD (throughput) or +%.0f%% + %g (allocs/op on gated `*` rows).\n",
+		len(r.Deltas), len(r.Regressions), r.Gate.MaxSlowdown*100, r.Gate.MADFactor,
+		r.Gate.MaxAllocIncrease*100, r.Gate.AllocSlack)
 	return b.String()
 }

@@ -220,3 +220,58 @@ func TestReportRenderings(t *testing.T) {
 		}
 	}
 }
+
+// TestAllocGate pins the allocs/op regression rule: growth beyond
+// tolerance+slack fails only on GateAllocs records, is never rescaled
+// by calibration, and shrinkage always passes.
+func TestAllocGate(t *testing.T) {
+	g := DefaultGate()
+	base := Record{Experiment: "servepath", Label: "/price", Units: "options/s",
+		OpsPerSec: 1e6, OpsMAD: 1e3, AllocsPerOp: 20, GateAllocs: true}
+
+	grown := base
+	grown.AllocsPerOp = 25 // +25% > 10% + 0.5 slack
+	if !g.AllocRegression(base, grown) {
+		t.Fatal("25% allocs/op growth on a gated record must regress")
+	}
+	within := base
+	within.AllocsPerOp = 22.5 // = 20*1.10 + 0.5 exactly: at, not beyond
+	if g.AllocRegression(base, within) {
+		t.Fatal("growth within tolerance+slack must pass")
+	}
+	shrunk := base
+	shrunk.AllocsPerOp = 10
+	if g.AllocRegression(base, shrunk) {
+		t.Fatal("an allocation reduction must never regress")
+	}
+	ungated := grown
+	ungated.GateAllocs = false
+	if g.AllocRegression(base, ungated) {
+		t.Fatal("records without GateAllocs must not be alloc-gated")
+	}
+
+	// End to end through Check: the alloc regression fails the report
+	// even though throughput is unchanged, and calibration drift must
+	// not distort the alloc comparison.
+	mk := func(k Record, calib float64) *Snapshot {
+		return &Snapshot{Schema: SchemaVersion, Kernels: []Record{k}, CalibOpsPerSec: calib,
+			Env: Env{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 1, NumCPU: 1, CPUModel: "T"}}
+	}
+	rep := Check(mk(base, 2e9), mk(grown, 1e9), g)
+	if len(rep.Regressions) != 1 || !rep.Deltas[0].AllocRegression {
+		t.Fatalf("Check missed the alloc regression: %+v", rep.Deltas)
+	}
+	if rep.Deltas[0].Regression {
+		t.Fatal("throughput rule fired on an alloc-only change")
+	}
+	if !rep.Failed(false) {
+		t.Fatal("alloc regression on a matching env must gate")
+	}
+	if !strings.Contains(rep.Table(), "ALLOC-REGRESSION") {
+		t.Fatalf("table lacks the alloc verdict:\n%s", rep.Table())
+	}
+	ok := Check(mk(base, 1e9), mk(within, 1e9), g)
+	if ok.Failed(false) {
+		t.Fatal("within-tolerance alloc growth must pass Check")
+	}
+}

@@ -1,6 +1,7 @@
 package benchreg
 
 import (
+	"runtime"
 	"sort"
 	"time"
 )
@@ -63,6 +64,13 @@ type Sample struct {
 	// so its MAD is a genuine spread, not a first-order propagation).
 	OpsPerSec float64
 	OpsMAD    float64
+	// AllocsPerOp is the median heap allocations per kernel invocation
+	// (one f() call), counted via the runtime's cumulative Mallocs
+	// counter around each repetition's run loop. Unlike wall time it is
+	// machine-independent: the same binary on the same inputs allocates
+	// the same number of objects on a laptop and a loaded CI runner,
+	// which makes it the one gated quantity that needs no noise band.
+	AllocsPerOp float64
 	// Throughputs holds the raw per-repetition throughput samples (not
 	// serialized; used by tests and ad-hoc analysis).
 	Throughputs []float64
@@ -79,18 +87,27 @@ func Measure(items int, f func(), o Opts) Sample {
 	}
 	secs := make([]float64, 0, o.Reps)
 	ops := make([]float64, 0, o.Reps)
+	allocs := make([]float64, 0, o.Reps)
+	var ms runtime.MemStats
 	for r := 0; r < o.Reps; r++ {
 		var elapsed time.Duration
 		runs := 0
+		// Mallocs is a cumulative monotonic counter, so the delta across
+		// the repetition counts exactly the allocations of its runs (GC
+		// cannot decrease it). Both reads sit outside the timed windows.
+		runtime.ReadMemStats(&ms)
+		mallocsBefore := ms.Mallocs
 		for elapsed < o.MinDuration {
 			start := time.Now()
 			f()
 			elapsed += time.Since(start)
 			runs++
 		}
+		runtime.ReadMemStats(&ms)
 		per := elapsed.Seconds() / float64(runs)
 		secs = append(secs, per)
 		ops = append(ops, float64(items)/per)
+		allocs = append(allocs, float64(ms.Mallocs-mallocsBefore)/float64(runs))
 	}
 	return Sample{
 		Items:       items,
@@ -99,6 +116,7 @@ func Measure(items int, f func(), o Opts) Sample {
 		MADSec:      MAD(secs),
 		OpsPerSec:   Median(ops),
 		OpsMAD:      MAD(ops),
+		AllocsPerOp: Median(allocs),
 		Throughputs: ops,
 	}
 }

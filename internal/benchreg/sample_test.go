@@ -93,3 +93,35 @@ func TestOptsDefaults(t *testing.T) {
 		t.Fatal("ShortOpts must use briefer repetitions than DefaultOpts")
 	}
 }
+
+// allocSink keeps the allocation test's slices live past the loop.
+var allocSink []byte
+
+// TestMeasureCountsAllocs pins the allocs/op accounting: a kernel that
+// allocates k times per invocation reports AllocsPerOp ~ k, and an
+// allocation-free kernel reports ~0.
+func TestMeasureCountsAllocs(t *testing.T) {
+	o := Opts{Warmup: 1, Reps: 3, MinDuration: time.Millisecond}
+	const k = 10
+	s := Measure(1, func() {
+		for i := 0; i < k; i++ {
+			allocSink = make([]byte, 4096)
+		}
+	}, o)
+	// The runtime may add a stray allocation (timer plumbing, GC
+	// assist), so bound rather than equate.
+	if s.AllocsPerOp < k || s.AllocsPerOp > k+2 {
+		t.Fatalf("AllocsPerOp = %g for a %d-alloc kernel", s.AllocsPerOp, k)
+	}
+
+	x := 0
+	quiet := Measure(1, func() {
+		for i := 0; i < 1000; i++ {
+			x += i
+		}
+	}, o)
+	if quiet.AllocsPerOp > 1 {
+		t.Fatalf("AllocsPerOp = %g for an allocation-free kernel", quiet.AllocsPerOp)
+	}
+	_ = x
+}

@@ -106,8 +106,9 @@ func TestReadFileRejectsBadSnapshots(t *testing.T) {
 		{"missing.json", "", "parse"}, // empty file: invalid JSON
 		{"garbage.json", "{not json", "parse"},
 		{"schema.json", `{"schema": 99, "kernels": [{"experiment":"x","label":"y"}]}`, "schema"},
-		{"empty.json", `{"schema": 1, "kernels": []}`, "no kernel records"},
-		{"dup.json", `{"schema": 1, "kernels": [
+		{"legacy.json", `{"schema": 1, "kernels": [{"experiment":"x","label":"y"}]}`, "schema"},
+		{"empty.json", `{"schema": 2, "kernels": []}`, "no kernel records"},
+		{"dup.json", `{"schema": 2, "kernels": [
 			{"experiment":"a","label":"b","ops_per_sec":1},
 			{"experiment":"a","label":"b","ops_per_sec":2}]}`, "duplicate kernel key"},
 	}

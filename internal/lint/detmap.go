@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// detmapPass protects the serving tier's bit-reproducibility invariant
+// (every 200 is a pure function of the request): Go randomizes map
+// iteration order per range statement, so any map-range whose per-key
+// effects are order-sensitive leaks that randomness into observable
+// state. Four sinks are checked inside the body of a range over a map:
+//
+//  1. a direct write — fmt.Fprint*/Print*, a Write*-method on anything
+//     satisfying io.Writer (strings.Builder, bytes.Buffer,
+//     http.ResponseWriter), or a JSON encode — emits keys in random
+//     order;
+//  2. an append whose target is never sorted later in the same function
+//     builds a randomly-ordered slice (the collect-then-sort idiom is
+//     recognized and exempt);
+//  3. a floating-point accumulation (+=, -=, *=, /=) into a variable
+//     declared outside the loop reduces in random order, and float
+//     arithmetic does not commute in the last ulp;
+//  4. a call to a module function from which a JSON encode is reachable
+//     in the call graph hands the per-key values to response encoding in
+//     random order (the call-graph-assisted escape).
+//
+// Integer accumulation is exempt — it is exact, so order cannot show.
+func detmapPass() *Pass {
+	return &Pass{
+		Name:   "detmap",
+		Doc:    "map iteration order leaking into output, encoding, or a float reduction",
+		RunMod: runDetmap,
+	}
+}
+
+// encodeSinks are the graph leaf names that serialize values in
+// encounter order (rule 4).
+var encodeSinks = []string{
+	"encoding/json.Marshal",
+	"encoding/json.MarshalIndent",
+	"(*encoding/json.Encoder).Encode",
+}
+
+func runDetmap(m *Module, p *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if tv, ok := p.Info.Types[rng.X]; !ok || tv.Type == nil {
+					return true
+				} else if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(m, p, fd, rng, report)
+				return true
+			})
+		}
+	}
+}
+
+func checkMapRange(m *Module, p *Package, fd *ast.FuncDecl, rng *ast.RangeStmt, report func(pos token.Pos, msg string)) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkRangeCall(m, p, fd, rng, n, report)
+		case *ast.AssignStmt:
+			checkRangeAssign(p, rng, n, report)
+		}
+		return true
+	})
+}
+
+func checkRangeCall(m *Module, p *Package, fd *ast.FuncDecl, rng *ast.RangeStmt, call *ast.CallExpr, report func(pos token.Pos, msg string)) {
+	// Rule 2: append into a slice that is never sorted afterwards.
+	if isBuiltin(p, call, "append") && len(call.Args) > 0 {
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj, ok := p.Info.Uses[id].(*types.Var); ok && !sortedAfter(p, fd, rng, obj) {
+				report(call.Pos(), fmt.Sprintf(
+					"appending to %q while ranging over a map builds a randomly-ordered slice; sort %q after the loop (or sort the keys first)",
+					obj.Name(), obj.Name()))
+			}
+		}
+		return
+	}
+	// Rule 1a: fmt printing inside the body.
+	if pkgPath, name, ok := calleeStatic(p, call); ok {
+		if pkgPath == "fmt" && (strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")) {
+			report(call.Pos(), "writing output while ranging over a map emits keys in random order; collect and sort the keys, then range the sorted slice")
+			return
+		}
+		if pkgPath == "encoding/json" && strings.HasPrefix(name, "Marshal") {
+			report(call.Pos(), "JSON-encoding per map-range iteration serializes in random key order; build the full value first (encoding/json sorts map keys itself)")
+			return
+		}
+	}
+	// Rule 1b: Write*/Encode methods on writers.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Signature().Recv() != nil {
+			name := fn.Name()
+			recvT := fn.Signature().Recv().Type()
+			switch {
+			case funcKey(fn) == "(*encoding/json.Encoder).Encode":
+				report(call.Pos(), "JSON-encoding per map-range iteration serializes in random key order; build the full value first (encoding/json sorts map keys itself)")
+				return
+			case (name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune") && implementsWriter(recvT):
+				report(call.Pos(), "writing to an io.Writer while ranging over a map emits keys in random order; collect and sort the keys, then range the sorted slice")
+				return
+			}
+		}
+	}
+	// Rule 4: escape into a module function that reaches a JSON encode.
+	for _, callee := range calleeFuncs(p, call) {
+		key := funcKey(callee)
+		if _, declared := m.Graph.Funcs[key]; declared && m.EncodesJSON(key) {
+			report(call.Pos(), fmt.Sprintf(
+				"%s is called per map-range iteration and reaches a JSON encode; map order leaks into the encoded output — sort the keys first",
+				key))
+			return
+		}
+	}
+}
+
+// checkRangeAssign implements rule 3: float op-assign accumulation.
+func checkRangeAssign(p *Package, rng *ast.RangeStmt, as *ast.AssignStmt, report func(pos token.Pos, msg string)) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != 1 {
+		return
+	}
+	tv, ok := p.Info.Types[as.Lhs[0]]
+	if !ok || tv.Type == nil {
+		return
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return
+	}
+	// Accumulators declared inside the body are per-iteration scratch.
+	if id, ok := as.Lhs[0].(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil && withinNode(rng.Body, obj.Pos()) {
+			return
+		}
+	}
+	report(as.Pos(), "floating-point accumulation over map-range order is non-deterministic (float addition does not commute in the last ulp); reduce over sorted keys")
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort*
+// call after the range statement ends, anywhere in the same function —
+// the collect-then-sort idiom.
+func sortedAfter(p *Package, fd *ast.FuncDecl, rng *ast.RangeStmt, obj *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rng.End() {
+			return true
+		}
+		pkgPath, name, ok := calleeStatic(p, call)
+		if !ok {
+			return true
+		}
+		isSort := pkgPath == "sort" || (pkgPath == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// writerIface is a structurally-built io.Writer ({ Write([]byte) (int,
+// error) }); building it from universe types keeps the check valid
+// across independently type-checked packages, which need not import io.
+var writerIface = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(0, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(types.NewVar(0, nil, "n", types.Typ[types.Int]), types.NewVar(0, nil, "err", errType)),
+		false)
+	i := types.NewInterfaceType([]*types.Func{types.NewFunc(0, nil, "Write", sig)}, nil)
+	i.Complete()
+	return i
+}()
+
+// implementsWriter reports whether t (or *t) satisfies io.Writer.
+func implementsWriter(t types.Type) bool {
+	return types.Implements(t, writerIface) || types.Implements(types.NewPointer(t), writerIface)
+}
+
+// calleeFuncs resolves the function objects a call may invoke (the
+// static callee only; dynamic calls resolve to nothing).
+func calleeFuncs(p *Package, call *ast.CallExpr) []*types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+		return []*types.Func{fn}
+	}
+	return nil
+}
+
+// EncodesJSON reports whether a JSON-encode sink is reachable from the
+// named function in the call graph. The reverse-reachability set is
+// computed once per module.
+func (m *Module) EncodesJSON(name string) bool {
+	m.encodeOnce.Do(func() {
+		// Reverse the edges, then BFS from the sinks.
+		rev := make(map[string]map[string]bool)
+		for caller, callees := range m.Graph.Edges {
+			for callee := range callees {
+				if rev[callee] == nil {
+					rev[callee] = make(map[string]bool)
+				}
+				rev[callee][caller] = true
+			}
+		}
+		m.encodeReach = make(map[string]bool)
+		queue := append([]string(nil), encodeSinks...)
+		for _, s := range queue {
+			m.encodeReach[s] = true
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, caller := range sortedSetKeys(rev[cur]) {
+				if !m.encodeReach[caller] {
+					m.encodeReach[caller] = true
+					queue = append(queue, caller)
+				}
+			}
+		}
+	})
+	return m.encodeReach[name]
+}
+
+// sortedSetKeys returns a set's keys in sorted order, so traversals stay
+// deterministic (and detmap-clean) in the suite's own code.
+func sortedSetKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

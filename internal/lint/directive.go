@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directivePass audits the suite's own suppression mechanism. An ignore
+// directive with no reason silences a finding without recording why the
+// code is actually safe, and an unknown pass name is a typo that
+// suppresses nothing. Both are findings in their own right, so the
+// suppression ledger stays as honest as the invariants it overrides.
+func directivePass() *Pass {
+	return &Pass{
+		Name: "directive",
+		Doc:  "malformed finlint:ignore (missing pass name, unknown pass, or empty reason)",
+		Run:  runDirective,
+	}
+}
+
+func runDirective(p *Package, report func(pos token.Pos, msg string)) {
+	known := make(map[string]bool)
+	for _, name := range PassNames() {
+		known[name] = true
+	}
+	for _, d := range p.Directives {
+		switch {
+		case d.Pass == "":
+			report(d.Pos, "finlint:ignore without a pass name suppresses nothing; write finlint:ignore <pass> <reason>")
+		case !known[d.Pass] && d.Pass != "all":
+			report(d.Pos, fmt.Sprintf("finlint:ignore names unknown pass %q (have %s)", d.Pass, strings.Join(PassNames(), ", ")))
+		case d.Reason == "":
+			report(d.Pos, fmt.Sprintf("finlint:ignore %s has no reason; state why the suppressed finding is safe", d.Pass))
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package lint
+
+// This file is the suite's single registry of module entry points: the
+// packages whose closures run concurrently (rngshare), the kernel entry
+// points the serving tier may call (ctxprop), and the context-propagating
+// variants that replace them on the request path. Keeping the tables in
+// one place means a new kernel entry point is added once and every pass
+// that reasons about the serving tier picks it up together.
+
+// parallelPkgPath is the module's OpenMP-style loop package; the closures
+// it receives run on multiple goroutines at once. resiliencePkgPath is
+// the serving tier's retry/hedge machinery: a hedged op runs on several
+// goroutines concurrently, and a retried op re-executes, so a captured
+// stream races or silently diverges between attempts either way.
+const (
+	parallelPkgPath   = "finbench/internal/parallel"
+	resiliencePkgPath = "finbench/internal/resilience"
+)
+
+// rootPkgPath is the module's public API package, whose exported pricing
+// functions are the kernel entry points the serving tier calls.
+const rootPkgPath = "finbench"
+
+// concurrentClosureFuncs maps package path to the entry points whose
+// closure argument executes concurrently (or re-executes, for Retry).
+// ForIndexed is included: its worker id makes the per-worker pattern
+// *possible*, but capturing one shared stream in its closure is exactly
+// as racy as in For.
+var concurrentClosureFuncs = map[string]map[string]bool{
+	parallelPkgPath: {
+		"For":              true,
+		"ForWorkers":       true,
+		"ForDynamic":       true,
+		"ForGuided":        true,
+		"ForIndexed":       true,
+		"ForIndexedMerged": true,
+		"Run":              true,
+		"Reduce":           true,
+		"ReduceFloat64":    true,
+		// Cancellable variants (the serving path): the closure contract is
+		// identical, so a captured stream races exactly the same way.
+		"ForCtx":              true,
+		"ForDynamicCtx":       true,
+		"ForIndexedMergedCtx": true,
+	},
+	resiliencePkgPath: {
+		// Hedge legs run concurrently; Retry re-executes the op and its
+		// closure shares state with the caller's health/stat goroutines.
+		"Retry": true,
+		"Hedge": true,
+	},
+}
+
+// closureHints is the per-package fix suggestion appended to the
+// diagnostic.
+var closureHints = map[string]string{
+	parallelPkgPath:   "derive a per-worker stream inside the closure (e.g. rng.NewStream(worker, seed) with parallel.ForIndexed)",
+	resiliencePkgPath: "derive a per-attempt stream inside the closure (hedge legs run concurrently, and a retried attempt must not continue a prior attempt's sequence)",
+}
+
+// kernelEntryCtx maps the full name of each plain (deadline-blind) kernel
+// entry point to the *Ctx variant a request-path caller must use instead;
+// an empty replacement means no cancellable variant exists and the entry
+// point simply must not be reachable from a handler. The key format is
+// types.Func.FullName ("pkg/path.Fn" or "(*pkg/path.T).Method").
+//
+// finbench.ProfileBatch is deliberately absent: the coalescer samples it
+// for the /statsz op mix on a bounded batch it has already priced, so the
+// call is observability outside the latency contract, not request work.
+var kernelEntryCtx = map[string]string{
+	rootPkgPath + ".Price":                                  rootPkgPath + ".PriceCtx",
+	rootPkgPath + ".PriceBatch":                             rootPkgPath + ".PriceBatchCtx",
+	"(*" + rootPkgPath + ".PathSimulator).Simulate":         "",
+	"(*" + rootPkgPath + ".PathSimulator).SimulateTerminal": "",
+}
+
+// breakerType is the circuit breaker whose Allow/Success/Failure calls
+// leakcheck requires to be bracketed within one function.
+const breakerType = "(*" + resiliencePkgPath + ".Breaker)"

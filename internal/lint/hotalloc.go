@@ -24,17 +24,27 @@ import (
 //
 // Scratch buffers belong before the loop (per worker, not per iteration);
 // deliberate exceptions take "// finlint:ignore hotalloc <reason>".
+//
+// Interprocedural extension: the same loop-body discipline applies on the
+// serve request path. Functions within a configurable number of
+// call-graph hops of an HTTP handler (Config.HotallocDepth) are scanned
+// without needing the package tag, with a reduced rule set — make calls,
+// slice/map/chan composite literals, and append-to-captured growth. Value
+// struct literals and interface boxing stay hot-package-only: a
+// per-request box (an error message, say) is acceptable; a per-option
+// in-loop allocation is the property the allocs/op benchmark gate pins.
 func hotallocPass() *Pass {
 	return &Pass{
-		Name: "hotalloc",
-		Doc:  "allocation (make/literal/append/interface-box) inside a hot-package loop",
-		Run:  runHotAlloc,
+		Name:   "hotalloc",
+		Doc:    "allocation inside a hot-package loop, or a handler-reachable loop (serve path)",
+		RunMod: runHotAlloc,
 	}
 }
 
-func runHotAlloc(p *Package, report func(pos token.Pos, msg string)) {
+func runHotAlloc(m *Module, p *Package, report func(pos token.Pos, msg string)) {
+	var reach *ReachSet
 	if !p.Hot {
-		return
+		reach = m.HotallocReach()
 	}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
@@ -43,6 +53,18 @@ func runHotAlloc(p *Package, report func(pos token.Pos, msg string)) {
 				continue
 			}
 			w := &hotWalker{p: p, report: report, funcs: []ast.Node{fd}}
+			if !p.Hot {
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(obj)
+				if !reach.Contains(key) {
+					continue
+				}
+				w.serveMode = true
+				w.path = pathLabel(reach.Path(key))
+			}
 			ast.Inspect(fd.Body, w.visit)
 		}
 	}
@@ -55,6 +77,11 @@ type hotWalker struct {
 	report func(pos token.Pos, msg string)
 	funcs  []ast.Node // enclosing functions, innermost last
 	depth  int        // enclosing loops within the innermost function
+
+	// serveMode applies the reduced, handler-reachable rule set instead
+	// of the hot-package one; path labels the reaching call chain.
+	serveMode bool
+	path      string
 }
 
 func (w *hotWalker) visit(n ast.Node) bool {
@@ -83,6 +110,9 @@ func (w *hotWalker) visit(n ast.Node) bool {
 	if w.depth == 0 || n == nil {
 		return true
 	}
+	if w.serveMode {
+		return w.visitServe(n)
+	}
 	switch n := n.(type) {
 	case *ast.CompositeLit:
 		w.report(n.Pos(), fmt.Sprintf("composite literal %s inside a hot loop may heap-allocate per iteration; hoist it before the loop", typeLabel(w.p, n)))
@@ -99,6 +129,32 @@ func (w *hotWalker) visit(n ast.Node) bool {
 			return true
 		}
 		w.checkInterfaceArgs(n)
+	}
+	return true
+}
+
+// visitServe applies the serve-path rule subset at loop depth > 0.
+func (w *hotWalker) visitServe(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		if tv, ok := w.p.Info.Types[n]; ok && tv.Type != nil {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Chan:
+				w.report(n.Pos(), fmt.Sprintf("composite literal %s allocates per loop iteration in a function reachable from an HTTP handler (%s); hoist it out of the loop", typeLabel(w.p, n), w.path))
+				return false
+			}
+		}
+	case *ast.CallExpr:
+		if isBuiltin(w.p, n, "make") {
+			w.report(n.Pos(), fmt.Sprintf("make allocates per loop iteration in a function reachable from an HTTP handler (%s); hoist the buffer out of the loop and reslice", w.path))
+			return true
+		}
+		if isBuiltin(w.p, n, "append") && len(n.Args) > 0 {
+			if obj := w.capturedVar(n.Args[0]); obj != nil {
+				w.report(n.Pos(), fmt.Sprintf("append to captured slice %q grows per loop iteration in a function reachable from an HTTP handler (%s); preallocate outside the loop", obj.Name(), w.path))
+			}
+			return true
+		}
 	}
 	return true
 }

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// leakcheckPass enforces two goroutine-hygiene invariants of the serving
+// tier:
+//
+//  1. Every goroutine launched outside cmd/ must be joined or bounded:
+//     its body (or, one call-graph hop deeper, the module function it
+//     runs) must signal completion (WaitGroup.Done, a channel send or
+//     close) or observe a stop signal (a channel receive — including
+//     <-ctx.Done() and select — or ranging a channel). A goroutine with
+//     none of these outlives its request: under load shedding that is
+//     precisely the orphaned work admission control exists to refuse.
+//     cmd/ binaries are exempt — their process-lifetime goroutines are
+//     reaped at exit.
+//  2. Every resilience.Breaker.Allow call must be bracketed: the same
+//     function must also call Success and Failure, so every admitted
+//     probe settles the breaker state on some path. A function that
+//     Allows without settling strands the half-open state's probe
+//     budget and the breaker never closes again.
+func leakcheckPass() *Pass {
+	return &Pass{
+		Name:   "leakcheck",
+		Doc:    "unjoined/unbounded goroutine, or breaker Allow without Success+Failure bracketing",
+		RunMod: runLeakcheck,
+	}
+}
+
+func runLeakcheck(m *Module, p *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !isCmdPackage(p.Path) {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if !goroutineBounded(m, p, g.Call) {
+						report(g.Pos(), "goroutine is neither joined (WaitGroup/channel) nor bounded by a stop channel or context; it outlives the request that launched it")
+					}
+					return true
+				})
+			}
+			checkBreakerBracketing(p, fd, report)
+		}
+	}
+}
+
+// goroutineBounded reports whether the goroutine body carries a join or
+// stop marker, looking through one level of module-declared callees (so
+// `go d.loop()` is judged by loop's body).
+func goroutineBounded(m *Module, p *Package, call *ast.CallExpr) bool {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return bodyBounded(m, p, lit.Body, 1)
+	}
+	for _, fn := range calleeFuncs(p, call) {
+		if fi := m.Graph.Funcs[funcKey(fn)]; fi != nil && fi.Decl.Body != nil {
+			return bodyBounded(m, fi.Pkg, fi.Decl.Body, 1)
+		}
+	}
+	return false // dynamic target: conservative
+}
+
+// bodyBounded scans a function body for join/stop markers, recursing
+// depth more levels into module-declared callees.
+func bodyBounded(m *Module, p *Package, body *ast.BlockStmt, depth int) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			bounded = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				bounded = true // channel receive (incl. <-ctx.Done())
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					bounded = true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(p, n, "close") {
+				bounded = true
+				return false
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok {
+					if fn.Name() == "Done" && isWaitGroupMethod(fn) {
+						bounded = true
+						return false
+					}
+					if depth > 0 {
+						if fi := m.Graph.Funcs[funcKey(fn)]; fi != nil && fi.Decl.Body != nil {
+							if bodyBounded(m, fi.Pkg, fi.Decl.Body, depth-1) {
+								bounded = true
+								return false
+							}
+						}
+					}
+				}
+			} else if id, ok := n.Fun.(*ast.Ident); ok && depth > 0 {
+				if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+					if fi := m.Graph.Funcs[funcKey(fn)]; fi != nil && fi.Decl.Body != nil {
+						if bodyBounded(m, fi.Pkg, fi.Decl.Body, depth-1) {
+							bounded = true
+							return false
+						}
+					}
+				}
+			}
+		}
+		return !bounded
+	})
+	return bounded
+}
+
+// isWaitGroupMethod reports whether fn is a method of sync.WaitGroup.
+func isWaitGroupMethod(fn *types.Func) bool {
+	recv := fn.Signature().Recv()
+	return recv != nil && types.TypeString(recv.Type(), nil) == "*sync.WaitGroup"
+}
+
+// checkBreakerBracketing flags Allow calls in functions that do not also
+// call both Success and Failure.
+func checkBreakerBracketing(p *Package, fd *ast.FuncDecl, report func(pos token.Pos, msg string)) {
+	var allows []token.Pos
+	haveSuccess, haveFailure := false, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		switch funcKey(fn) {
+		case breakerType + ".Allow":
+			allows = append(allows, sel.Pos())
+		case breakerType + ".Success":
+			haveSuccess = true
+		case breakerType + ".Failure":
+			haveFailure = true
+		}
+		return true
+	})
+	if len(allows) == 0 || (haveSuccess && haveFailure) {
+		return
+	}
+	for _, pos := range allows {
+		report(pos, "breaker.Allow without both Success and Failure in the same function; an admitted probe that never settles strands the half-open budget and the breaker cannot close")
+	}
+}

@@ -6,6 +6,17 @@
 // ASTs and type information, in the spirit of the code-modernization
 // tooling Cielo et al. (arXiv:2002.08161) apply to many-core codes.
 //
+// Five passes are intra-procedural (rngshare, hotalloc, floateq,
+// seeddet, errcheck). Four are interprocedural, driven by a module-wide
+// call graph rooted at the HTTP handlers (see callgraph.go and DESIGN.md
+// §8): ctxprop (deadline-blind kernel entry points reachable from a
+// handler), detmap (map iteration order leaking into observable output,
+// including JSON encodes reached through helpers), leakcheck (unjoined
+// goroutines and unbracketed breaker admissions), and hotalloc's
+// serve-path mode (allocation sites within a bounded distance of a
+// handler). The ninth pass, directive, lints the lint: every ignore
+// directive must name a real pass and carry a reason.
+//
 // The suite is built only on the standard library (go/parser, go/ast,
 // go/types with the source importer); it deliberately avoids
 // golang.org/x/tools so the gate runs in a hermetic container.
@@ -16,6 +27,9 @@
 //
 //	// finlint:ignore <pass> <reason>   suppress <pass> on this line and the next
 //	// finlint:hot                      mark the package's loops as hot paths
+//
+// The reason on an ignore directive is mandatory — the directive pass
+// rejects reasonless, bare, or mistyped suppressions.
 package lint
 
 import (
@@ -25,6 +39,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, formatted as "file:line: [pass] message".
@@ -58,14 +73,29 @@ type Package struct {
 	// ignores maps filename -> line -> set of suppressed pass names
 	// ("all" suppresses every pass).
 	ignores map[string]map[int]map[string]bool
+
+	// Directives records every finlint:ignore directive encountered, for
+	// the directive pass (which rejects reasonless suppressions).
+	Directives []Directive
 }
 
-// A Pass checks one invariant over a package. Run reports findings via
-// report; suppression and formatting are handled by the driver.
+// Directive is one parsed finlint:ignore comment.
+type Directive struct {
+	Pos    token.Pos
+	Pass   string // "" when the directive names no pass
+	Reason string
+}
+
+// A Pass checks one invariant over a package. Exactly one of Run and
+// RunMod is set: Run is intra-procedural over one package; RunMod
+// additionally receives the module context (call graph over every loaded
+// package) for the dataflow passes. Findings go through report;
+// suppression and formatting are handled by the driver.
 type Pass struct {
-	Name string
-	Doc  string
-	Run  func(p *Package, report func(pos token.Pos, msg string))
+	Name   string
+	Doc    string
+	Run    func(p *Package, report func(pos token.Pos, msg string))
+	RunMod func(m *Module, p *Package, report func(pos token.Pos, msg string))
 }
 
 // Passes returns the full suite in canonical order.
@@ -76,7 +106,71 @@ func Passes() []*Pass {
 		floateqPass(),
 		seeddetPass(),
 		errcheckPass(),
+		ctxpropPass(),
+		detmapPass(),
+		leakcheckPass(),
+		directivePass(),
 	}
+}
+
+// Config tunes the module-context passes.
+type Config struct {
+	// HotallocDepth bounds how many call-graph hops from an HTTP handler
+	// the interprocedural hotalloc sweep follows; 0 picks
+	// DefaultHotallocDepth.
+	HotallocDepth int
+}
+
+// DefaultHotallocDepth reaches handler -> helper -> coalescer -> batch
+// kernel entry on the current serving tier, which is where per-request
+// work turns into per-option loops.
+const DefaultHotallocDepth = 4
+
+func (c Config) withDefaults() Config {
+	if c.HotallocDepth <= 0 {
+		c.HotallocDepth = DefaultHotallocDepth
+	}
+	return c
+}
+
+// Module is the whole-run context shared by the call-graph passes: every
+// loaded package plus the graph over them. Reachability sweeps are
+// computed once, lazily, and shared.
+type Module struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+	Cfg   Config
+
+	handlerReach *ReachSet // unbounded, from HTTP handler roots
+	hotReach     *ReachSet // bounded by Cfg.HotallocDepth
+
+	// encodeOnce/encodeReach back Module.EncodesJSON (see detmap.go).
+	encodeOnce  sync.Once
+	encodeReach map[string]bool
+}
+
+// NewModule builds the module context (call graph included) over pkgs.
+func NewModule(pkgs []*Package, cfg Config) *Module {
+	return &Module{Pkgs: pkgs, Graph: BuildCallGraph(pkgs), Cfg: cfg.withDefaults()}
+}
+
+// HandlerReach returns the functions reachable from HTTP handler roots,
+// unbounded (ctxprop and detmap use this: a deadline or an encode sink
+// matters at any depth).
+func (m *Module) HandlerReach() *ReachSet {
+	if m.handlerReach == nil {
+		m.handlerReach = m.Graph.Reach(m.Graph.HTTPHandlerRoots(), -1)
+	}
+	return m.handlerReach
+}
+
+// HotallocReach returns the functions within Cfg.HotallocDepth hops of an
+// HTTP handler root (the interprocedural hotalloc scope).
+func (m *Module) HotallocReach() *ReachSet {
+	if m.hotReach == nil {
+		m.hotReach = m.Graph.Reach(m.Graph.HTTPHandlerRoots(), m.Cfg.HotallocDepth)
+	}
+	return m.hotReach
 }
 
 // PassNames returns the canonical pass names, for usage text.
@@ -112,12 +206,28 @@ func SelectPasses(list string) ([]*Pass, error) {
 	return sel, nil
 }
 
-// Run executes the given passes over the packages and returns the
-// surviving diagnostics sorted by file, line, then pass.
+// Run executes the given passes over the packages under the default
+// Config and returns the surviving diagnostics sorted by file, line, then
+// pass.
 func Run(pkgs []*Package, passes []*Pass) []Diagnostic {
+	return RunConfig(pkgs, passes, Config{})
+}
+
+// RunConfig is Run with explicit module-pass configuration. The module
+// context (call graph) is built once, and only when a selected pass needs
+// it.
+func RunConfig(pkgs []*Package, passes []*Pass, cfg Config) []Diagnostic {
+	var mod *Module
+	for _, pass := range passes {
+		if pass.RunMod != nil {
+			mod = NewModule(pkgs, cfg)
+			break
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, pass := range passes {
+			pass := pass
 			report := func(pos token.Pos, msg string) {
 				position := pkg.Fset.Position(pos)
 				if pkg.suppressed(pass.Name, position) {
@@ -125,7 +235,11 @@ func Run(pkgs []*Package, passes []*Pass) []Diagnostic {
 				}
 				diags = append(diags, Diagnostic{Pos: position, Pass: pass.Name, Msg: msg})
 			}
-			pass.Run(pkg, report)
+			if pass.RunMod != nil {
+				pass.RunMod(mod, pkg, report)
+			} else {
+				pass.Run(pkg, report)
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -171,9 +285,17 @@ func (p *Package) finishDirectives() {
 				}
 				fields := strings.Fields(rest)
 				if len(fields) == 0 {
-					continue // a bare ignore suppresses nothing: require a pass name
+					// A bare ignore suppresses nothing; the directive pass
+					// reports it as malformed.
+					p.Directives = append(p.Directives, Directive{Pos: c.Pos()})
+					continue
 				}
 				pass := fields[0]
+				p.Directives = append(p.Directives, Directive{
+					Pos:    c.Pos(),
+					Pass:   pass,
+					Reason: strings.TrimSpace(strings.Join(fields[1:], " ")),
+				})
 				line := p.Fset.Position(c.Pos()).Line
 				m := p.ignores[filename]
 				if m == nil {

@@ -100,8 +100,8 @@ func TestGoldenSuppression(t *testing.T) {
 
 func TestSelectPasses(t *testing.T) {
 	all, err := SelectPasses("all")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("SelectPasses(all) = %d passes, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("SelectPasses(all) = %d passes, err %v; want 9, nil", len(all), err)
 	}
 	two, err := SelectPasses("floateq, rngshare")
 	if err != nil || len(two) != 2 || two[0].Name != "floateq" || two[1].Name != "rngshare" {

@@ -7,52 +7,9 @@ import (
 	"go/types"
 )
 
-// parallelPkgPath is the module's OpenMP-style loop package; the closures
-// it receives run on multiple goroutines at once. resiliencePkgPath is
-// the serving tier's retry/hedge machinery: a hedged op runs on several
-// goroutines concurrently, and a retried op re-executes, so a captured
-// stream races or silently diverges between attempts either way.
-const (
-	parallelPkgPath   = "finbench/internal/parallel"
-	resiliencePkgPath = "finbench/internal/resilience"
-)
-
-// concurrentClosureFuncs maps package path to the entry points whose
-// closure argument executes concurrently (or re-executes, for Retry).
-// ForIndexed is included: its worker id makes the per-worker pattern
-// *possible*, but capturing one shared stream in its closure is exactly
-// as racy as in For.
-var concurrentClosureFuncs = map[string]map[string]bool{
-	parallelPkgPath: {
-		"For":              true,
-		"ForWorkers":       true,
-		"ForDynamic":       true,
-		"ForGuided":        true,
-		"ForIndexed":       true,
-		"ForIndexedMerged": true,
-		"Run":              true,
-		"Reduce":           true,
-		"ReduceFloat64":    true,
-		// Cancellable variants (the serving path): the closure contract is
-		// identical, so a captured stream races exactly the same way.
-		"ForCtx":              true,
-		"ForDynamicCtx":       true,
-		"ForIndexedMergedCtx": true,
-	},
-	resiliencePkgPath: {
-		// Hedge legs run concurrently; Retry re-executes the op and its
-		// closure shares state with the caller's health/stat goroutines.
-		"Retry": true,
-		"Hedge": true,
-	},
-}
-
-// closureHints is the per-package fix suggestion appended to the
-// diagnostic.
-var closureHints = map[string]string{
-	parallelPkgPath:   "derive a per-worker stream inside the closure (e.g. rng.NewStream(worker, seed) with parallel.ForIndexed)",
-	resiliencePkgPath: "derive a per-attempt stream inside the closure (hedge legs run concurrently, and a retried attempt must not continue a prior attempt's sequence)",
-}
+// The shared tables this pass consumes (parallelPkgPath,
+// concurrentClosureFuncs, closureHints) live in entrypoints.go, the
+// suite's single registry of module entry points.
 
 // pkgDisplayName is the identifier a caller writes before the dot.
 func pkgDisplayName(pkgPath string) string {

@@ -1,0 +1,39 @@
+// Package callgraph is a lint-clean corpus exercising each edge kind
+// the call graph resolves: static calls, concrete method calls,
+// interface method calls (expanded to module implementers), function
+// value references, and a recursion cycle.
+package callgraph
+
+// Pinger is implemented by *Impl within this package.
+type Pinger interface{ Ping() int }
+
+// Impl implements Pinger with a pointer receiver.
+type Impl struct{ n int }
+
+// Ping returns the stored value.
+func (im *Impl) Ping() int { return im.n }
+
+// Static calls helper directly.
+func Static() int { return helper() }
+
+func helper() int { return 1 }
+
+// Concrete calls a method on a concrete receiver.
+func Concrete(im *Impl) int { return im.Ping() }
+
+// Dynamic calls through the interface; resolution must add edges to the
+// interface method and to every module implementer.
+func Dynamic(p Pinger) int { return p.Ping() }
+
+// ValueRef references helper as a value without calling it.
+func ValueRef() func() int { return helper }
+
+// CycleA and cycleB call each other; reachability must terminate.
+func CycleA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return cycleB(n - 1)
+}
+
+func cycleB(n int) int { return CycleA(n) }

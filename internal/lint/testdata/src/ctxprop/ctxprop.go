@@ -1,0 +1,71 @@
+// Package ctxprop seeds deadline-blind kernel entry calls on an HTTP
+// handler path. The handler-shaped functions are call-graph roots; the
+// plain finbench entry points reached from them must be flagged, while
+// identical calls in unreachable functions must not.
+package ctxprop
+
+import (
+	"context"
+	"net/http"
+
+	"finbench"
+)
+
+// Handler is an HTTP handler by signature shape, hence a root.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	priceOne(r.Context())
+	priceMany()
+	simulate()
+}
+
+// priceOne is one hop from the handler and calls the deadline-blind
+// scalar entry point.
+func priceOne(ctx context.Context) {
+	var o finbench.Option
+	var m finbench.Market
+	_, _ = finbench.Price(o, m, 0, nil) // seeded violation
+	_ = ctx
+}
+
+// priceMany calls the deadline-blind batch entry point.
+func priceMany() {
+	b := finbench.NewBatch(4)
+	var m finbench.Market
+	_ = finbench.PriceBatch(b, m, 0) // seeded violation
+}
+
+// simulate reaches a kernel entry with no cancellable variant at all.
+func simulate() {
+	ps, err := finbench.NewPathSimulator(8, 1.0, 1)
+	if err != nil {
+		return
+	}
+	var m finbench.Market
+	_ = ps.SimulateTerminal(4, 100, m) // seeded violation
+}
+
+// GoodCtxHandler uses the context-propagating variants: clean.
+func GoodCtxHandler(w http.ResponseWriter, r *http.Request) {
+	var o finbench.Option
+	var m finbench.Market
+	_, _ = finbench.PriceCtx(r.Context(), o, m, 0, nil)
+	b := finbench.NewBatch(4)
+	_ = finbench.PriceBatchCtx(r.Context(), b, m, 0)
+}
+
+// OfflineTool calls the plain entry point but is unreachable from any
+// handler (the batch-tool/benchmark shape): clean.
+func OfflineTool() {
+	var o finbench.Option
+	var m finbench.Market
+	_, _ = finbench.Price(o, m, 0, nil)
+}
+
+// warmupHandler primes caches before serving; the suppression records
+// why the deadline-blind call is deliberate.
+func warmupHandler(w http.ResponseWriter, r *http.Request) {
+	var o finbench.Option
+	var m finbench.Market
+	// finlint:ignore ctxprop warmup priming outside the request latency contract
+	_, _ = finbench.Price(o, m, 0, nil)
+}

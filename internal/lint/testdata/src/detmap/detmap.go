@@ -1,0 +1,97 @@
+// Package detmap seeds map-iteration-order leaks: writes, unsorted
+// collections, float reductions, and call-graph escapes into JSON
+// encoding, next to the exempt collect-then-sort and integer-reduction
+// idioms.
+package detmap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteLoop emits per-key output in map order.
+func WriteLoop(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // seeded violation
+	}
+}
+
+// BuilderLoop writes through an io.Writer method on strings.Builder.
+func BuilderLoop(b *strings.Builder, m map[string]int) {
+	for k := range m {
+		b.WriteString(k) // seeded violation
+	}
+}
+
+// CollectNoSort returns keys in random order (never sorted).
+func CollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // seeded violation
+	}
+	return keys
+}
+
+// FloatReduce accumulates floats in map order; float addition does not
+// commute in the last ulp.
+func FloatReduce(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // seeded violation
+	}
+	return total
+}
+
+// EncodeEscape hands values, per iteration, to a helper that reaches a
+// JSON encode (found through the call graph).
+func EncodeEscape(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		emit(w, k, v) // seeded violation
+	}
+}
+
+func emit(w io.Writer, k string, v int) {
+	data, err := json.Marshal(map[string]int{k: v})
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(data)
+}
+
+// GoodCollectSort is the collect-then-sort idiom: exempt.
+func GoodCollectSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodIntReduce accumulates integers: exact arithmetic, order cannot
+// show in the result.
+func GoodIntReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodSliceRange writes while ranging a slice: iteration order is fixed.
+func GoodSliceRange(w io.Writer, keys []string) {
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// debugDump's order genuinely does not matter; the suppression says so.
+func debugDump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		// finlint:ignore detmap debug dump, order is irrelevant and never parsed
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

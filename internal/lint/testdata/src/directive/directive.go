@@ -1,0 +1,32 @@
+// Package directive seeds malformed suppression directives; the
+// directive pass turns them into findings so reasonless or mistyped
+// ignores cannot silently rot in the tree.
+package directive
+
+var eps = 1.0e-9
+var tol = 1.0e-9
+
+// Reasonless suppresses floateq but records no justification.
+// seeded violation
+func Reasonless() bool {
+	return eps == tol // finlint:ignore floateq
+}
+
+// Bare names no pass at all, so it suppresses nothing.
+// seeded violation
+func Bare() int {
+	// finlint:ignore
+	return 1
+}
+
+// Typo names a pass that does not exist.
+// seeded violation
+func Typo() int {
+	// finlint:ignore nosuchpass the pass name is mistyped
+	return 2
+}
+
+// WellFormed carries a pass name and a reason: no finding.
+func WellFormed() bool {
+	return eps == tol // finlint:ignore floateq exact sentinel compare, assigned not computed
+}

@@ -1,0 +1,104 @@
+// Package leakcheck seeds unjoined goroutines and unbracketed breaker
+// probes, next to every recognized join/bound idiom (WaitGroup, channel
+// send, stop channel, channel drain via a named callee).
+package leakcheck
+
+import (
+	"sync"
+
+	"finbench/internal/resilience"
+)
+
+func work() {}
+
+// LeakyClosure launches a goroutine with no join or stop signal.
+func LeakyClosure() {
+	go func() { // seeded violation
+		work()
+	}()
+}
+
+// LeakyNamed launches a named function that never observes a stop.
+func LeakyNamed() {
+	go spin() // seeded violation
+}
+
+func spin() {
+	for i := 0; i < 1000; i++ {
+		work()
+	}
+}
+
+// GoodWaitGroup joins via WaitGroup.
+func GoodWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// GoodChannelJoin signals completion on a channel.
+func GoodChannelJoin() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// GoodStopBound observes a stop channel inside its loop.
+func GoodStopBound(stop <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// GoodNamedDrain delegates to a function whose body drains a channel
+// (found one call-graph hop deep).
+func GoodNamedDrain(jobs chan int) {
+	go drain(jobs)
+}
+
+func drain(jobs chan int) {
+	for range jobs {
+		work()
+	}
+}
+
+// metricsPump runs for the process lifetime by design; the suppression
+// records that.
+func metricsPump() {
+	// finlint:ignore leakcheck process-lifetime metrics pump, reaped at exit
+	go func() {
+		work()
+	}()
+}
+
+// UnsettledAllow admits a probe and never settles it.
+func UnsettledAllow(b *resilience.Breaker) bool {
+	return b.Allow() // seeded violation
+}
+
+// GoodBracketed settles every admitted probe on some path.
+func GoodBracketed(b *resilience.Breaker, op func() error) error {
+	if !b.Allow() {
+		return nil
+	}
+	if err := op(); err != nil {
+		b.Failure()
+		return err
+	}
+	b.Success()
+	return nil
+}

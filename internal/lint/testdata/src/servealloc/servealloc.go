@@ -1,0 +1,63 @@
+// Package servealloc seeds per-iteration allocations in functions
+// reachable from an HTTP handler, for the interprocedural hotalloc
+// sweep. The package is deliberately NOT tagged finlint:hot: every
+// finding here is reached through the call graph from ServeHTTP.
+package servealloc
+
+import "net/http"
+
+type engine struct {
+	out []float64
+}
+
+// ServeHTTP is the reachability root.
+func (e *engine) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	e.assemble(8)
+	deep1(8)
+	e.hoisted(8)
+	e.coldFill(8)
+}
+
+// assemble allocates per iteration, one hop from the handler.
+func (e *engine) assemble(n int) {
+	for i := 0; i < n; i++ {
+		buf := make([]float64, 4) // seeded violation
+		e.out = append(e.out, buf...)
+	}
+}
+
+// deep1..deep3 chain the handler to an allocation three hops down.
+func deep1(n int) { deep2(n) }
+func deep2(n int) { deep3(n) }
+func deep3(n int) {
+	for i := 0; i < n; i++ {
+		_ = []int{i, i + 1} // seeded violation
+	}
+}
+
+// Unreached allocates in a loop but no handler reaches it (the
+// batch-tool shape): clean.
+func Unreached(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, make([]float64, 2)...)
+	}
+	return out
+}
+
+// hoisted reuses one buffer across iterations: clean.
+func (e *engine) hoisted(n int) {
+	buf := make([]float64, 4)
+	for i := 0; i < n; i++ {
+		buf[0] = float64(i)
+		e.out = append(e.out, buf[0])
+	}
+}
+
+// coldFill allocates on a startup-only path; the suppression says why.
+func (e *engine) coldFill(n int) {
+	for i := 0; i < n; i++ {
+		// finlint:ignore hotalloc startup-only fill, runs once before serving
+		e.out = append(e.out, make([]float64, 1)...)
+	}
+}

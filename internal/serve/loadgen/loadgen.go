@@ -114,8 +114,13 @@ func (r *Report) String() string {
 	if r.P99MS > 0 {
 		fmt.Fprintf(&b, " p50=%.1fms p99=%.1fms", r.P50MS, r.P99MS)
 	}
-	for e, n := range r.Errors {
-		fmt.Fprintf(&b, " err[%s]=%d", e, n)
+	errs := make([]string, 0, len(r.Errors))
+	for e := range r.Errors {
+		errs = append(errs, e)
+	}
+	sort.Strings(errs)
+	for _, e := range errs {
+		fmt.Fprintf(&b, " err[%s]=%d", e, r.Errors[e])
 	}
 	return b.String()
 }

@@ -1,0 +1,49 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReportStringDeterministic pins the log rendering of a report
+// whose Errors map has several keys: the err[...] fields must come out
+// sorted by key, identically on every call. Regression test for the
+// unsorted map-range String() found by the detmap pass.
+func TestReportStringDeterministic(t *testing.T) {
+	r := &Report{
+		Requests:  7,
+		ElapsedMS: 12,
+		Codes:     map[int]int{200: 4, 503: 1},
+		Errors: map[string]int{
+			"connection refused": 1,
+			"EOF":                2,
+			"timeout":            3,
+		},
+	}
+	want := "requests=7 elapsed=12ms 200=4 503=1" +
+		" err[EOF]=2 err[connection refused]=1 err[timeout]=3"
+	got := r.String()
+	if got != want {
+		t.Fatalf("Report.String() = %q, want %q", got, want)
+	}
+	for i := 0; i < 50; i++ {
+		if again := r.String(); again != got {
+			t.Fatalf("Report.String() not stable: call %d gave %q, first gave %q", i, again, got)
+		}
+	}
+}
+
+// TestReportStringOmitsEmptySections keeps the compact rendering for a
+// minimal report.
+func TestReportStringOmitsEmptySections(t *testing.T) {
+	r := &Report{Requests: 1, ElapsedMS: 3, Codes: map[int]int{200: 1}}
+	got := r.String()
+	if got != "requests=1 elapsed=3ms 200=1" {
+		t.Fatalf("Report.String() = %q", got)
+	}
+	for _, field := range []string{"err[", "verified=", "coalesced=", "degraded=", "retries=", "p50="} {
+		if strings.Contains(got, field) {
+			t.Errorf("minimal report rendering should omit %q: %q", field, got)
+		}
+	}
+}

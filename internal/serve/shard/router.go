@@ -473,6 +473,7 @@ func (r *Router) pick(st *reqState) *replica {
 				best, bestScore = rep, score
 			}
 		}
+		// finlint:ignore leakcheck the Allow admitted here is settled by attemptOnce, which calls Success/Failure on every response path of the routed attempt
 		if best != nil && best.breaker.Allow() {
 			st.inUse[best]++
 			return best

@@ -3,6 +3,7 @@ package finbench
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"finbench/internal/machine"
@@ -119,7 +120,7 @@ func Roofline(machineName string, points map[string][2]float64) (string, error) 
 	for l := range points {
 		labels = append(labels, l)
 	}
-	sortStrings(labels)
+	sort.Strings(labels)
 	for _, label := range labels {
 		pt := points[label]
 		ch := marks[i%len(marks)]
@@ -140,11 +141,3 @@ func Roofline(machineName string, points map[string][2]float64) (string, error) 
 
 func log2(x float64) float64 { return math.Log2(x) }
 func exp2(x float64) float64 { return math.Exp2(x) }
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}

@@ -9,8 +9,13 @@
 # README "Serving"), the chaos smoke gate (scripts/chaos_smoke.sh; the
 # sharded router under seeded fault injection and a replica kill — see
 # README "Resilience & sharding"), and finlint (the custom static-analysis
-# suite enforcing the kernel-safety invariants; see README "Static
-# analysis & CI gate") with its self-test.
+# suite enforcing the kernel-safety and serving-tier invariants — the
+# intra-procedural passes plus the call-graph dataflow passes ctxprop,
+# detmap, leakcheck and interprocedural hotalloc; see README "Static
+# analysis & CI gate") with its self-test. The benchreg gate also
+# enforces the allocs/op budget on serve-path rows (gate_allocs records
+# in BENCH_0.json): a new per-request allocation fails the check even
+# when its wall-clock cost hides inside timing noise.
 #
 # Usage: ./scripts/check.sh
 #
@@ -40,6 +45,9 @@ go build ./...
 # short-mode run on a shared/loaded machine can legitimately drift ~15%;
 # a real regression (a kernel losing its vectorization or layout
 # optimization) is far larger. One retry absorbs transient load spikes.
+# The allocs/op rule needs no such slack: allocation counts are
+# deterministic per binary, so the tool's default (+10% and half an
+# allocation on gated rows) applies as-is.
 # Refresh the baseline with:  go run ./cmd/benchreg run -short -o BENCH_0.json
 echo "==> benchreg gate: short snapshot vs committed baseline"
 go build -o "$TOOL_DIR/benchreg" ./cmd/benchreg
