@@ -123,6 +123,8 @@ func runServe(args []string) int {
 		maxPaths     = fs.Int("max-paths", 0, "max Monte Carlo paths per request (0 = default)")
 		maxDeadline  = fs.Duration("max-deadline", 0, "server-side deadline cap (0 = default)")
 		degrade      = fs.Bool("degrade", false, "enable degrade mode under sustained shedding")
+		cacheBytes   = fs.Int64("cache-bytes", 0, "content-addressed response cache byte budget (0 = off)")
+		cacheTTL     = fs.Duration("cache-ttl", 0, "cache entry TTL (0 = never expire)")
 		drainTO      = fs.Duration("drain-timeout", 5*time.Second, "max time to drain on SIGTERM")
 		drainLinger  = fs.Duration("drain-linger", 300*time.Millisecond, "how long the listener keeps answering fast 503s before it stops accepting")
 		faultSpec    = fs.String("fault-spec", "", "deterministic fault injection seed:rate:kinds (chaos runs)")
@@ -153,6 +155,8 @@ func runServe(args []string) int {
 		MaxPaths:         *maxPaths,
 		MaxDeadline:      *maxDeadline,
 		Degrade:          *degrade,
+		CacheBytes:       *cacheBytes,
+		CacheTTL:         *cacheTTL,
 	})
 	defer s.Close()
 
@@ -200,27 +204,31 @@ func runServe(args []string) int {
 func runLoadgen(args []string) int {
 	fs := flag.NewFlagSet("finserve loadgen", flag.ExitOnError)
 	var (
-		url         = fs.String("url", "http://127.0.0.1:8123", "server base URL")
-		requests    = fs.Int("requests", 64, "total requests")
-		concurrency = fs.Int("concurrency", 4, "client workers")
-		mixStr      = fs.String("mix", "closed-form=1", "method mix, e.g. closed-form=8,monte-carlo=1,greeks=2")
-		optsPerReq  = fs.Int("options", 8, "options per request")
-		deadlineMS  = fs.Int64("deadline-ms", 0, "deadline_ms sent with each request (0 = none)")
-		mcPaths     = fs.Int("mc-paths", 0, "config.mc_paths override")
-		binSteps    = fs.Int("binomial-steps", 0, "config.binomial_steps override")
-		gridPoints  = fs.Int("grid-points", 0, "config.grid_points override")
-		timeSteps   = fs.Int("time-steps", 0, "config.time_steps override")
-		seed        = fs.Int64("seed", 1, "option-stream seed")
-		timeout     = fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout")
-		verify      = fs.Bool("verify", false, "recompute every 200 against the library; fail on mismatch")
-		assertCodes = fs.String("assert-codes", "", "comma list of the only status codes allowed, e.g. 200,429,503")
-		minCount    = fs.String("min-count", "", "minimum responses per code, e.g. 200:40,503:1")
-		schedFrozen = fs.Bool("check-sched-frozen", false, "after the run, require the pool scheduler counters to stop advancing")
-		schedGap    = fs.Duration("sched-gap", 300*time.Millisecond, "observation gap for -check-sched-frozen")
-		availPct    = fs.Float64("assert-availability", -1, "minimum percent of requests answered 200 (chaos floor; transport errors count against it instead of failing the run)")
-		maxRetries  = fs.Int("assert-max-retries", -1, "maximum routed retries across the run (-1 = no limit)")
-		minBrkOpens = fs.Uint64("assert-min-breaker-opens", 0, "require at least N breaker opens on the router's /statsz")
-		brkClosed   = fs.Bool("assert-breakers-closed", false, "require every router breaker closed after the run")
+		url          = fs.String("url", "http://127.0.0.1:8123", "server base URL")
+		requests     = fs.Int("requests", 64, "total requests")
+		concurrency  = fs.Int("concurrency", 4, "client workers")
+		mixStr       = fs.String("mix", "closed-form=1", "method mix, e.g. closed-form=8,monte-carlo=1,greeks=2")
+		optsPerReq   = fs.Int("options", 8, "options per request")
+		deadlineMS   = fs.Int64("deadline-ms", 0, "deadline_ms sent with each request (0 = none)")
+		mcPaths      = fs.Int("mc-paths", 0, "config.mc_paths override")
+		binSteps     = fs.Int("binomial-steps", 0, "config.binomial_steps override")
+		gridPoints   = fs.Int("grid-points", 0, "config.grid_points override")
+		timeSteps    = fs.Int("time-steps", 0, "config.time_steps override")
+		seed         = fs.Int64("seed", 1, "option-stream seed")
+		timeout      = fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout")
+		verify       = fs.Bool("verify", false, "recompute every 200 against the library; fail on mismatch")
+		assertCodes  = fs.String("assert-codes", "", "comma list of the only status codes allowed, e.g. 200,429,503")
+		minCount     = fs.String("min-count", "", "minimum responses per code, e.g. 200:40,503:1")
+		schedFrozen  = fs.Bool("check-sched-frozen", false, "after the run, require the pool scheduler counters to stop advancing")
+		schedGap     = fs.Duration("sched-gap", 300*time.Millisecond, "observation gap for -check-sched-frozen")
+		zipfS        = fs.Float64("zipf", -1, "Zipf contract-mix skew s (>= 0; 0 = uniform over the pool); requires a batch pool")
+		zipfPool     = fs.Int("zipf-pool", 0, "pre-generated batch pool size for -zipf (0 = off)")
+		minHitRate   = fs.Float64("assert-min-hit-rate", -1, "minimum observed cache hit rate over cache-considered requests (-1 = no check)")
+		minCollapsed = fs.Int("assert-min-collapsed", 0, "require at least N responses served by singleflight collapse")
+		availPct     = fs.Float64("assert-availability", -1, "minimum percent of requests answered 200 (chaos floor; transport errors count against it instead of failing the run)")
+		maxRetries   = fs.Int("assert-max-retries", -1, "maximum routed retries across the run (-1 = no limit)")
+		minBrkOpens  = fs.Uint64("assert-min-breaker-opens", 0, "require at least N breaker opens on the router's /statsz")
+		brkClosed    = fs.Bool("assert-breakers-closed", false, "require every router breaker closed after the run")
 	)
 	_ = fs.Parse(args)
 
@@ -240,6 +248,14 @@ func runLoadgen(args []string) int {
 		return 2
 	}
 
+	if *zipfS >= 0 && *zipfPool <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -zipf requires -zipf-pool > 0")
+		return 2
+	}
+	zs := *zipfS
+	if zs < 0 {
+		zs = 0
+	}
 	rep, err := loadgen.Run(loadgen.Options{
 		BaseURL:           *url,
 		Concurrency:       *concurrency,
@@ -253,9 +269,11 @@ func runLoadgen(args []string) int {
 			GridPoints:    *gridPoints,
 			TimeSteps:     *timeSteps,
 		},
-		Verify:  *verify,
-		Seed:    *seed,
-		Timeout: *timeout,
+		Verify:   *verify,
+		Seed:     *seed,
+		Timeout:  *timeout,
+		ZipfPool: *zipfPool,
+		ZipfS:    zs,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -300,6 +318,20 @@ func runLoadgen(args []string) int {
 	}
 	if *maxRetries >= 0 && rep.Retries > *maxRetries {
 		fail("%d retries exceed -assert-max-retries %d", rep.Retries, *maxRetries)
+	}
+	if *minHitRate >= 0 {
+		if got := rep.HitRate(); got < *minHitRate {
+			fail("cache hit rate %.3f below the %.3f floor", got, *minHitRate)
+		} else {
+			fmt.Printf("cache hit rate %.3f (floor %.3f)\n", got, *minHitRate)
+		}
+	}
+	if *minCollapsed > 0 {
+		if rep.CacheCollapsed < *minCollapsed {
+			fail("singleflight collapsed %d responses, want >= %d", rep.CacheCollapsed, *minCollapsed)
+		} else {
+			fmt.Printf("singleflight collapsed %d responses (floor %d)\n", rep.CacheCollapsed, *minCollapsed)
+		}
 	}
 	if *minBrkOpens > 0 || *brkClosed {
 		opens, notClosed, err := loadgen.RouterBreakers(*url)

@@ -17,6 +17,14 @@ const (
 	resiliencePkgPath = "finbench/internal/resilience"
 )
 
+// pricecachePkgPath is the content-addressed response cache. Its
+// singleflight Do re-executes the compute closure when a failed leader's
+// waiters re-dispatch, and concurrent leaders for different keys run
+// their computes on concurrent goroutines — so a captured stream both
+// races and silently diverges between executions, and the divergent
+// bytes would be cached and fanned out to every waiter.
+const pricecachePkgPath = "finbench/internal/serve/pricecache"
+
 // rootPkgPath is the module's public API package, whose exported pricing
 // functions are the kernel entry points the serving tier calls.
 const rootPkgPath = "finbench"
@@ -49,6 +57,11 @@ var concurrentClosureFuncs = map[string]map[string]bool{
 		"Retry": true,
 		"Hedge": true,
 	},
+	pricecachePkgPath: {
+		// The singleflight compute closure: re-executed on waiter
+		// re-dispatch, run concurrently across keys, result cached.
+		"Do": true,
+	},
 }
 
 // closureHints is the per-package fix suggestion appended to the
@@ -56,6 +69,7 @@ var concurrentClosureFuncs = map[string]map[string]bool{
 var closureHints = map[string]string{
 	parallelPkgPath:   "derive a per-worker stream inside the closure (e.g. rng.NewStream(worker, seed) with parallel.ForIndexed)",
 	resiliencePkgPath: "derive a per-attempt stream inside the closure (hedge legs run concurrently, and a retried attempt must not continue a prior attempt's sequence)",
+	pricecachePkgPath: "derive the stream inside the compute closure from the cache key's seed (a re-dispatched compute must reproduce the leader's bytes, or the cache fans out divergent responses)",
 }
 
 // kernelEntryCtx maps the full name of each plain (deadline-blind) kernel

@@ -43,6 +43,9 @@ func runRNGShare(p *Package, report func(pos token.Pos, msg string)) {
 				return true
 			}
 			pkgPath, fn, ok := calleeStatic(p, call)
+			if !ok {
+				pkgPath, fn, ok = calleeMethod(p, call)
+			}
 			if !ok || !concurrentClosureFuncs[pkgPath][fn] {
 				return true
 			}
@@ -56,6 +59,21 @@ func runRNGShare(p *Package, report func(pos token.Pos, msg string)) {
 			return true
 		})
 	}
+}
+
+// calleeMethod resolves a concrete method call to its declaring package
+// path and method name (so (*pricecache.Cache).Do registers in
+// concurrentClosureFuncs the same way a package-level function does).
+func calleeMethod(p *Package, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Signature().Recv() == nil || fn.Pkg() == nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
 }
 
 // checkClosureCaptures reports every RNG-typed variable used inside lit

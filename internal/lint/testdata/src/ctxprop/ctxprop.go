@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"finbench"
+	"finbench/internal/serve/pricecache"
 )
 
 // Handler is an HTTP handler by signature shape, hence a root.
@@ -68,4 +69,35 @@ func warmupHandler(w http.ResponseWriter, r *http.Request) {
 	var m finbench.Market
 	// finlint:ignore ctxprop warmup priming outside the request latency contract
 	_, _ = finbench.Price(o, m, 0, nil)
+}
+
+// sharedCache stands in for a server's response cache.
+var sharedCache = pricecache.New(1<<20, 0)
+
+// CacheHandler reaches a deadline-blind kernel entry through a
+// singleflight compute closure. The closure body is attributed to the
+// function that lexically encloses it, so the call is handler-reachable
+// and must be flagged: a cache-miss leader that ignores its ctx keeps
+// pricing for a client that has already given up, while the waiters
+// parked on the flight correctly time out on their own deadlines.
+func CacheHandler(w http.ResponseWriter, r *http.Request) {
+	var o finbench.Option
+	var m finbench.Market
+	key := pricecache.Digest("closed-form", 0, 0, pricecache.Params{}, nil)
+	_, _, _ = sharedCache.Do(r.Context(), key, func(ctx context.Context) ([]byte, bool, error) {
+		_, err := finbench.Price(o, m, 0, nil) // seeded violation
+		return nil, false, err
+	})
+}
+
+// GoodCacheHandler propagates the compute closure's ctx into the kernel:
+// the leader's work dies with the leader's deadline. Clean.
+func GoodCacheHandler(w http.ResponseWriter, r *http.Request) {
+	var o finbench.Option
+	var m finbench.Market
+	key := pricecache.Digest("closed-form", 0, 0, pricecache.Params{}, nil)
+	_, _, _ = sharedCache.Do(r.Context(), key, func(ctx context.Context) ([]byte, bool, error) {
+		_, err := finbench.PriceCtx(ctx, o, m, 0, nil)
+		return nil, false, err
+	})
 }

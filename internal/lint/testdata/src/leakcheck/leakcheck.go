@@ -4,6 +4,7 @@
 package leakcheck
 
 import (
+	"context"
 	"sync"
 
 	"finbench/internal/resilience"
@@ -83,6 +84,44 @@ func metricsPump() {
 	go func() {
 		work()
 	}()
+}
+
+// flightLocal is the singleflight header shape: waiters park on done
+// until the leader lands the flight.
+type flightLocal struct {
+	done chan struct{}
+	body []byte
+}
+
+// BadDetachedLeader launches a singleflight leader that never lands the
+// flight: no close, no send, no stop signal — every waiter parked on
+// done blocks forever and the goroutine outlives the request that
+// started it.
+func BadDetachedLeader(f *flightLocal, compute func() []byte) {
+	go func() { // seeded violation
+		f.body = compute()
+	}()
+}
+
+// GoodFlightLeader closes the flight's done channel after computing, so
+// the goroutine is bounded and every waiter is released. Clean.
+func GoodFlightLeader(f *flightLocal, compute func() []byte) {
+	go func() {
+		f.body = compute()
+		close(f.done)
+	}()
+}
+
+// GoodFlightWaiter blocks only until the flight lands or its own ctx
+// expires — the leader's latency never becomes the waiter's. Clean (no
+// goroutine; documents the waiter side of the leader/waiter contract).
+func GoodFlightWaiter(ctx context.Context, f *flightLocal) ([]byte, error) {
+	select {
+	case <-f.done:
+		return f.body, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // UnsettledAllow admits a probe and never settles it.

@@ -11,6 +11,7 @@ import (
 	"finbench/internal/perf"
 	"finbench/internal/resilience"
 	"finbench/internal/rng"
+	"finbench/internal/serve/pricecache"
 )
 
 // BadSharedStream captures one stream in the closure: every worker would
@@ -116,6 +117,32 @@ func GoodPerAttemptHedge(ctx context.Context, dst []float64, seed uint64) error 
 		stream := rng.NewStream(0, seed)
 		stream.Uniform(dst)
 		return 0, nil
+	})
+	return err
+}
+
+// BadSharedStreamSingleflight captures one stream in the compute closure
+// handed to the pricing cache's singleflight: concurrent leaders for
+// different keys advance the same twister, and a compute re-dispatched
+// after a failed leader continues the prior attempt's sequence — the
+// divergent bytes would then be cached and fanned out to every waiter.
+func BadSharedStreamSingleflight(ctx context.Context, c *pricecache.Cache, key pricecache.Key, dst []float64, seed uint64) error {
+	stream := rng.NewStream(0, seed)
+	_, _, err := c.Do(ctx, key, func(ctx context.Context) ([]byte, bool, error) {
+		stream.Uniform(dst) // seeded violation
+		return nil, false, nil
+	})
+	return err
+}
+
+// GoodPerComputeSingleflight derives the stream inside the compute
+// closure from the key's seed: every execution — leader or re-dispatched
+// waiter — draws the same reproducible sequence. Not flagged.
+func GoodPerComputeSingleflight(ctx context.Context, c *pricecache.Cache, key pricecache.Key, dst []float64, seed uint64) error {
+	_, _, err := c.Do(ctx, key, func(ctx context.Context) ([]byte, bool, error) {
+		stream := rng.NewStream(0, seed)
+		stream.Uniform(dst)
+		return nil, false, nil
 	})
 	return err
 }

@@ -24,6 +24,7 @@ import (
 
 	"finbench"
 	"finbench/internal/serve"
+	"finbench/internal/serve/pricecache"
 	"finbench/internal/serve/shard"
 )
 
@@ -51,6 +52,18 @@ type Options struct {
 	Seed int64
 	// Timeout bounds each HTTP request (default 60s).
 	Timeout time.Duration
+
+	// ZipfPool enables the Zipf contract-mix mode: instead of drawing
+	// fresh contracts per request, each pricing request re-sends one of
+	// ZipfPool pre-generated batches, chosen by a Zipf(s = ZipfS) rank
+	// distribution — rank r drawn with weight 1/(r+1)^s. The pool is
+	// seed-deterministic, so repeated runs replay the same hot set.
+	// ZipfS 0 is uniform over the pool; realistic request skew is
+	// s ≈ 1.0–1.3. Whole batches repeat (not just single contracts)
+	// because a response cache is keyed by the full batch digest.
+	// Greeks requests are unaffected.
+	ZipfPool int
+	ZipfS    float64
 }
 
 // Report is the outcome of a run.
@@ -73,6 +86,25 @@ type Report struct {
 	// answer the client waited for).
 	P50MS float64 `json:"p50_ms"`
 	P99MS float64 `json:"p99_ms"`
+	// Cache outcome counts observed from the X-Finserve-Cache response
+	// header (absent against a cache-disabled server): hits served from
+	// the store, misses computed as singleflight leaders, collapsed
+	// requests served from a concurrent leader's computation, and
+	// bypasses (requests the cache tier declined to consider).
+	CacheHits      int `json:"cache_hits,omitempty"`
+	CacheMisses    int `json:"cache_misses,omitempty"`
+	CacheCollapsed int `json:"cache_collapsed,omitempty"`
+	CacheBypass    int `json:"cache_bypass,omitempty"`
+}
+
+// HitRate is the fraction of cache-considered requests that avoided a
+// computation (hit or collapsed); 0 when the cache saw nothing.
+func (r *Report) HitRate() float64 {
+	considered := r.CacheHits + r.CacheMisses + r.CacheCollapsed
+	if considered == 0 {
+		return 0
+	}
+	return float64(r.CacheHits+r.CacheCollapsed) / float64(considered)
 }
 
 // Availability is the fraction of requests answered 200, counting
@@ -110,6 +142,10 @@ func (r *Report) String() string {
 	}
 	if r.Retries > 0 || r.HedgeWins > 0 {
 		fmt.Fprintf(&b, " retries=%d hedge_wins=%d", r.Retries, r.HedgeWins)
+	}
+	if r.CacheHits+r.CacheMisses+r.CacheCollapsed+r.CacheBypass > 0 {
+		fmt.Fprintf(&b, " cache_hit=%d cache_miss=%d cache_collapsed=%d cache_bypass=%d hit_rate=%.3f",
+			r.CacheHits, r.CacheMisses, r.CacheCollapsed, r.CacheBypass, r.HitRate())
 	}
 	if r.P99MS > 0 {
 		fmt.Fprintf(&b, " p50=%.1fms p99=%.1fms", r.P50MS, r.P99MS)
@@ -166,11 +202,68 @@ func mixTable(mix map[string]int) []string {
 	return table
 }
 
+// batchPools pre-generates the Zipf mode's contract batches: one pool
+// per pricing method in the mix, each batch drawn from a rng seeded only
+// by (seed, method, rank) so the hot set is identical across runs and
+// across workers.
+func batchPools(o Options, table []string) map[string][][]serve.WireOption {
+	pools := make(map[string][][]serve.WireOption)
+	for _, method := range table {
+		if method == "greeks" || pools[method] != nil {
+			continue
+		}
+		var methodSalt int64
+		for _, c := range method {
+			methodSalt = methodSalt*131 + int64(c)
+		}
+		rng := rand.New(rand.NewSource(o.Seed ^ methodSalt))
+		pool := make([][]serve.WireOption, o.ZipfPool)
+		for r := range pool {
+			pool[r] = randomOptions(rng, o.OptionsPerRequest, method)
+		}
+		pools[method] = pool
+	}
+	return pools
+}
+
+// zipfCDF precomputes the cumulative rank distribution with weights
+// 1/(r+1)^s. Unlike math/rand's Zipf it accepts any s >= 0 (s = 0 is
+// uniform; the interesting skew ladder includes s = 1.0).
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	var total float64
+	for r := 0; r < n; r++ {
+		total += math.Pow(float64(r+1), -s)
+		cdf[r] = total
+	}
+	for r := range cdf {
+		cdf[r] /= total
+	}
+	return cdf
+}
+
+// zipfRank draws a rank from the precomputed CDF by inverse transform.
+func zipfRank(rng *rand.Rand, cdf []float64) int {
+	return sort.SearchFloat64s(cdf, rng.Float64())
+}
+
 // Run executes the load and returns the aggregate report.
 func Run(o Options) (*Report, error) {
 	o = o.withDefaults()
 	table := mixTable(o.Mix)
 	client := &http.Client{Timeout: o.Timeout}
+
+	var (
+		pools map[string][][]serve.WireOption
+		cdf   []float64
+	)
+	if o.ZipfPool > 0 {
+		if o.ZipfS < 0 {
+			return nil, fmt.Errorf("zipf skew must be >= 0, got %v", o.ZipfS)
+		}
+		pools = batchPools(o, table)
+		cdf = zipfCDF(o.ZipfPool, o.ZipfS)
+	}
 
 	var (
 		mu        sync.Mutex
@@ -192,8 +285,12 @@ func Run(o Options) (*Report, error) {
 					return
 				}
 				method := table[rng.Intn(len(table))]
+				var batch []serve.WireOption
+				if pools != nil && method != "greeks" {
+					batch = pools[method][zipfRank(rng, cdf)]
+				}
 				t0 := time.Now()
-				code, outcome, err := o.doRequest(client, rng, method, market)
+				code, outcome, err := o.doRequest(client, rng, method, batch, market)
 				reqMS := float64(time.Since(t0).Microseconds()) / 1000
 				mu.Lock()
 				rep.Requests++
@@ -208,6 +305,10 @@ func Run(o Options) (*Report, error) {
 					rep.Degraded += outcome.degraded
 					rep.Retries += outcome.retries
 					rep.HedgeWins += outcome.hedgeWon
+					rep.CacheHits += outcome.cacheHit
+					rep.CacheMisses += outcome.cacheMiss
+					rep.CacheCollapsed += outcome.cacheCollapsed
+					rep.CacheBypass += outcome.cacheBypass
 				}
 				mu.Unlock()
 			}
@@ -237,6 +338,24 @@ func percentile(values []float64, q float64) float64 {
 type reqOutcome struct {
 	verified, mismatch, coalesced, degraded int
 	retries, hedgeWon                       int
+	cacheHit, cacheMiss, cacheCollapsed     int
+	cacheBypass                             int
+}
+
+// noteCacheHeader reads the X-Finserve-Cache outcome header a
+// cache-enabled server or router attaches; absent means the cache tier
+// is off and nothing is counted.
+func (out *reqOutcome) noteCacheHeader(resp *http.Response) {
+	switch resp.Header.Get(pricecache.Header) {
+	case "hit":
+		out.cacheHit = 1
+	case "miss":
+		out.cacheMiss = 1
+	case "collapsed":
+		out.cacheCollapsed = 1
+	case "bypass":
+		out.cacheBypass = 1
+	}
 }
 
 // noteRouteHeaders reads the per-request resilience headers a shard
@@ -270,14 +389,19 @@ func errKey(err error) string {
 	}
 }
 
-func (o Options) doRequest(client *http.Client, rng *rand.Rand, method string, mkt finbench.Market) (int, reqOutcome, error) {
+// doRequest sends one pricing request: batch overrides the contract set
+// (Zipf pool mode); nil draws fresh random contracts.
+func (o Options) doRequest(client *http.Client, rng *rand.Rand, method string, batch []serve.WireOption, mkt finbench.Market) (int, reqOutcome, error) {
 	var out reqOutcome
 	if method == "greeks" {
 		return o.doGreeks(client, rng, mkt)
 	}
+	if batch == nil {
+		batch = randomOptions(rng, o.OptionsPerRequest, method)
+	}
 	req := serve.PriceRequest{
 		Method:     method,
-		Options:    randomOptions(rng, o.OptionsPerRequest, method),
+		Options:    batch,
 		Config:     o.Config,
 		DeadlineMS: o.DeadlineMS,
 	}
@@ -294,6 +418,7 @@ func (o Options) doRequest(client *http.Client, rng *rand.Rand, method string, m
 	}
 	defer resp.Body.Close()
 	out.noteRouteHeaders(resp)
+	out.noteCacheHeader(resp)
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		return 0, out, err

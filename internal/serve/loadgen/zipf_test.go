@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"finbench/internal/serve"
+)
+
+// TestZipfCDFShapes: s=0 is uniform, larger s concentrates mass on the
+// low ranks, and the CDF is a proper distribution.
+func TestZipfCDFShapes(t *testing.T) {
+	uni := zipfCDF(4, 0)
+	for r, want := range []float64{0.25, 0.5, 0.75, 1.0} {
+		if math.Abs(uni[r]-want) > 1e-12 {
+			t.Fatalf("uniform cdf[%d] = %v, want %v", r, uni[r], want)
+		}
+	}
+	for _, s := range []float64{1.0, 1.3} {
+		cdf := zipfCDF(64, s)
+		if math.Abs(cdf[63]-1.0) > 1e-12 {
+			t.Fatalf("s=%v cdf does not end at 1: %v", s, cdf[63])
+		}
+		if cdf[0] <= 1.0/64 {
+			t.Fatalf("s=%v puts no extra mass on rank 0: %v", s, cdf[0])
+		}
+	}
+	// Heavier skew, heavier head.
+	if zipfCDF(64, 1.3)[0] <= zipfCDF(64, 1.0)[0] {
+		t.Fatal("s=1.3 head mass not above s=1.0")
+	}
+}
+
+// TestZipfRankDistribution: sampled frequencies follow the rank weights
+// (rank 0 strictly hottest for s>0) and every rank is reachable.
+func TestZipfRankDistribution(t *testing.T) {
+	cdf := zipfCDF(8, 1.0)
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 8)
+	for i := 0; i < 20000; i++ {
+		counts[zipfRank(rng, cdf)]++
+	}
+	for r := 1; r < 8; r++ {
+		if counts[r] == 0 {
+			t.Fatalf("rank %d never sampled", r)
+		}
+	}
+	if counts[0] <= counts[7]*2 {
+		t.Fatalf("rank 0 (%d) not clearly hotter than rank 7 (%d)", counts[0], counts[7])
+	}
+}
+
+// TestBatchPoolsDeterministic: the same seed reproduces the same pool
+// (the hot set must be stable across runs for honest hit-rate ladders),
+// and different seeds differ.
+func TestBatchPoolsDeterministic(t *testing.T) {
+	o := Options{Seed: 42, OptionsPerRequest: 4, ZipfPool: 8}.withDefaults()
+	table := []string{"closed-form", "monte-carlo"}
+	a := batchPools(o, table)
+	b := batchPools(o, table)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different pools")
+	}
+	o2 := o
+	o2.Seed = 43
+	if reflect.DeepEqual(a, batchPools(o2, table)) {
+		t.Fatal("different seeds produced identical pools")
+	}
+	if len(a["closed-form"]) != 8 || len(a["closed-form"][0]) != 4 {
+		t.Fatalf("pool shape: %d batches x %d options", len(a["closed-form"]), len(a["closed-form"][0]))
+	}
+	if _, ok := a["greeks"]; ok {
+		t.Fatal("greeks must not get a batch pool")
+	}
+}
+
+// TestZipfRunAgainstCachedServer drives a cache-enabled server in Zipf
+// mode end to end: -verify must hold (cache hits bit-match the library)
+// and the observed hit rate from the response headers must be high with
+// a single hot batch dominating.
+func TestZipfRunAgainstCachedServer(t *testing.T) {
+	s := serve.New(serve.Config{CacheBytes: 1 << 20, CoalesceMaxBatch: 1, ProfileEvery: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	rep, err := Run(Options{
+		BaseURL:           ts.URL,
+		Concurrency:       2,
+		Requests:          40,
+		OptionsPerRequest: 4,
+		ZipfPool:          4,
+		ZipfS:             1.3,
+		Verify:            true,
+		Seed:              11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(200) != 40 {
+		t.Fatalf("report: %s", rep)
+	}
+	if rep.Mismatch > 0 {
+		t.Fatalf("cache-enabled run had %d bit mismatches: %s", rep.Mismatch, rep)
+	}
+	if rep.Verified == 0 {
+		t.Fatalf("nothing verified: %s", rep)
+	}
+	considered := rep.CacheHits + rep.CacheMisses + rep.CacheCollapsed
+	if considered != 40 {
+		t.Fatalf("cache header seen on %d/40 responses: %s", considered, rep)
+	}
+	// 40 requests over a 4-batch pool: at most 4 cold misses (plus any
+	// concurrent duplicates, which collapse rather than miss).
+	if rep.CacheMisses > 4 {
+		t.Fatalf("more misses than pool entries: %s", rep)
+	}
+	if rep.HitRate() < 0.8 {
+		t.Fatalf("hit rate %.3f below 0.8 over a 4-batch pool: %s", rep.HitRate(), rep)
+	}
+}
+
+// TestZipfSkewValidation: negative skew is rejected.
+func TestZipfSkewValidation(t *testing.T) {
+	if _, err := Run(Options{BaseURL: "http://127.0.0.1:0", ZipfPool: 4, ZipfS: -1}); err == nil {
+		t.Fatal("negative zipf skew accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package pricecache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// The content address. A cacheable response is a pure function of
+// (effective method, market, resolved numeric config, canonicalized
+// contract batch); Digest folds exactly those inputs — nothing
+// transport-level (deadline, client identity, arrival order) — into a
+// collision-resistant key, so two requests collide iff the protocol
+// guarantees them byte-identical answers.
+//
+// Canonicalization: the wire encodes option type and exercise style as
+// optional strings where "" means "call" / "european"; Digest maps both
+// spellings to the same bit, so semantically equal batches digest
+// equally. Everything else is hashed from its exact bit pattern
+// (math.Float64bits for the contract terms, fixed-width integers for the
+// config), so any numerically distinct batch digests differently. Batch
+// order is significant by design: the results array aligns with the
+// request's option order, so a permuted batch is a different response.
+
+// Key is a content-addressed cache key (SHA-256 of the canonical
+// encoding).
+type Key [sha256.Size]byte
+
+// Contract is one option contract in wire vocabulary: Type is "" or
+// "call" (equivalent) or "put"; Style is "" or "european" (equivalent)
+// or "american".
+type Contract struct {
+	Type, Style          string
+	Spot, Strike, Expiry float64
+}
+
+// Params are the numeric knobs that select the effective pricing
+// configuration. Callers that know the resolved effective config (the
+// replica tier) pass it so a config change re-keys — invalidation by
+// construction; callers that only see the request (the router tier) pass
+// the values as sent.
+type Params struct {
+	BinomialSteps int
+	GridPoints    int
+	TimeSteps     int
+	MCPaths       int
+	Seed          uint64
+}
+
+// digestVersion is bumped whenever the canonical encoding changes, so a
+// new binary never reads entries keyed by an old scheme (the cache is
+// in-memory only today; the version byte keeps that true by construction
+// if entries ever become shareable).
+const digestVersion = 1
+
+// Digest computes the content address of a pricing request. rate and vol
+// are the market the batch prices against (zero for tiers that key
+// purely on request content, e.g. a router fronting a homogeneous
+// fleet). The encoding is prefix-free — every variable-length field is
+// length-prefixed and every scalar fixed-width — so distinct inputs
+// never produce the same byte stream.
+func Digest(method string, rate, vol float64, p Params, contracts []Contract) Key {
+	h := sha256.New()
+	var buf [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:]) // hash.Hash.Write never returns an error
+	}
+	put64(digestVersion)
+	put64(uint64(len(method)))
+	_, _ = h.Write([]byte(method)) // hash.Hash.Write never returns an error
+	put64(math.Float64bits(rate))
+	put64(math.Float64bits(vol))
+	put64(uint64(int64(p.BinomialSteps)))
+	put64(uint64(int64(p.GridPoints)))
+	put64(uint64(int64(p.TimeSteps)))
+	put64(uint64(int64(p.MCPaths)))
+	put64(p.Seed)
+	put64(uint64(len(contracts)))
+	for i := range contracts {
+		c := &contracts[i]
+		var flags uint64
+		if c.Type == "put" {
+			flags |= 1
+		}
+		if c.Style == "american" {
+			flags |= 2
+		}
+		put64(flags)
+		put64(math.Float64bits(c.Spot))
+		put64(math.Float64bits(c.Strike))
+		put64(math.Float64bits(c.Expiry))
+	}
+	var key Key
+	h.Sum(key[:0])
+	return key
+}

@@ -1,0 +1,69 @@
+package pricecache
+
+import "testing"
+
+// FuzzDigest drives the canonicalizer with arbitrary field values and
+// checks the two digest laws: semantically equal batches (the ""/"call"
+// and ""/"european" spellings) digest equally, and any single-field
+// perturbation digests differently.
+func FuzzDigest(f *testing.F) {
+	f.Add("closed-form", 0.05, 0.2, 64, 100, 50, 0, uint64(42), true, false, 100.0, 95.0, 0.5)
+	f.Add("", 0.0, 0.0, 0, 0, 0, 0, uint64(0), false, false, 0.0, 0.0, 0.0)
+	f.Add("binomial", -0.01, 1.5, 1024, 1, 1, 100000, uint64(7), false, true, 250.5, 300.0, 10.0)
+
+	f.Fuzz(func(t *testing.T, method string, rate, vol float64, steps, grid, tsteps, paths int, seed uint64, put, american bool, spot, strike, expiry float64) {
+		p := Params{BinomialSteps: steps, GridPoints: grid, TimeSteps: tsteps, MCPaths: paths, Seed: seed}
+		typ, blankTyp := "put", "put"
+		if !put {
+			typ, blankTyp = "call", ""
+		}
+		style, blankStyle := "american", "american"
+		if !american {
+			style, blankStyle = "european", ""
+		}
+		c := Contract{Type: typ, Style: style, Spot: spot, Strike: strike, Expiry: expiry}
+		blank := Contract{Type: blankTyp, Style: blankStyle, Spot: spot, Strike: strike, Expiry: expiry}
+
+		base := Digest(method, rate, vol, p, []Contract{c})
+		if got := Digest(method, rate, vol, p, []Contract{blank}); got != base {
+			t.Fatalf("canonical spellings digest differently: %v vs %v", c, blank)
+		}
+
+		// Perturb each independent field; every variant must differ. Skip
+		// perturbations that don't change the value's bit pattern (e.g.
+		// spot+1 == spot for huge floats, NaN comparisons).
+		variants := []Key{
+			Digest(method+"x", rate, vol, p, []Contract{c}),
+			Digest(method, rate, vol, Params{BinomialSteps: steps + 1, GridPoints: grid, TimeSteps: tsteps, MCPaths: paths, Seed: seed}, []Contract{c}),
+			Digest(method, rate, vol, Params{BinomialSteps: steps, GridPoints: grid, TimeSteps: tsteps, MCPaths: paths, Seed: seed + 1}, []Contract{c}),
+			Digest(method, rate, vol, p, []Contract{c, c}),
+			Digest(method, rate, vol, p, nil),
+		}
+		for i, v := range variants {
+			if v == base {
+				t.Fatalf("perturbation %d did not change the digest", i)
+			}
+		}
+		if spot+1 != spot {
+			mut := c
+			mut.Spot = spot + 1
+			if Digest(method, rate, vol, p, []Contract{mut}) == base {
+				t.Fatal("spot perturbation did not change the digest")
+			}
+		}
+		flipped := c
+		if put {
+			flipped.Type = ""
+		} else {
+			flipped.Type = "put"
+		}
+		if Digest(method, rate, vol, p, []Contract{flipped}) == base {
+			t.Fatal("flipping option type did not change the digest")
+		}
+
+		// Determinism: same inputs, same key.
+		if Digest(method, rate, vol, p, []Contract{c}) != base {
+			t.Fatal("digest is not deterministic")
+		}
+	})
+}

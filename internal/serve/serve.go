@@ -13,6 +13,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -24,6 +25,7 @@ import (
 
 	"finbench"
 	"finbench/internal/serve/coalesce"
+	"finbench/internal/serve/pricecache"
 )
 
 // Config tunes the server. Zero values select the defaults.
@@ -63,6 +65,16 @@ type Config struct {
 
 	// Degrade enables degrade mode under sustained shedding.
 	Degrade bool
+
+	// CacheBytes enables the content-addressed response cache with that
+	// byte budget (0 disables). Only composition-independent engines are
+	// cached (closed-form today; Monte Carlo results depend on the batch
+	// decomposition and always bypass). CacheTTL expires entries (0 =
+	// never). Cacheable responses report elapsed_us 0: timing is
+	// transport metadata, excluded from the content address so a hit
+	// replays the cold response byte-for-byte.
+	CacheBytes int64
+	CacheTTL   time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -108,7 +120,8 @@ type Server struct {
 	adm   *admission
 	deg   *degrader
 	co    *coalesce.Coalescer
-	rate  *bucket // nil when rate limiting is disabled
+	rate  *bucket           // nil when rate limiting is disabled
+	cache *pricecache.Cache // nil when caching is disabled
 
 	draining atomic.Bool
 }
@@ -124,6 +137,9 @@ func New(cfg Config) *Server {
 		deg:   newDegrader(cfg.Degrade),
 		co:    coalesce.New(cfg.Market, cfg.CoalesceWindow, cfg.CoalesceMaxBatch, cfg.ProfileEvery),
 		rate:  newBucket(cfg.Rate, cfg.Burst),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = pricecache.New(cfg.CacheBytes, cfg.CacheTTL)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/price", s.handlePrice)
@@ -237,6 +253,20 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 		method, cfg = dm, dc
 	}
 
+	// Cacheable fast path: closed-form is composition-independent and
+	// never degrade-substituted, so its responses are pure functions of
+	// (method, market, effective config, batch) — the cache serves hits
+	// and collapses identical concurrent requests before any admission
+	// cost. Everything else (Monte Carlo's decomposition-dependent
+	// results, the lattice methods, degraded substitutions) bypasses.
+	if s.cache != nil {
+		if method == finbench.ClosedForm && !degraded {
+			s.servePriceCached(w, r, start, req, cfg)
+			return
+		}
+		w.Header().Set(pricecache.Header, "bypass")
+	}
+
 	// Admission: acquire the request's work units or shed fast.
 	units, ok := s.adm.acquire(unitCost(method, cfg, len(req.Options)), s.cfg.AdmitWait)
 	if !ok {
@@ -283,6 +313,99 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 	resp.ElapsedUS = elapsed.Microseconds()
 	s.stats.observeLatency(method.String(), elapsed)
 	s.writeJSON(w, http.StatusOK, &resp)
+}
+
+// errShed marks an admission failure inside the cacheable compute path so
+// the handler answers 503 (shed) rather than 400.
+var errShed = errors.New("work budget exhausted")
+
+// servePriceCached serves a closed-form /price request through the
+// content-addressed cache: a stored entry answers immediately (hit), a
+// concurrent identical request rides the in-flight leader's computation
+// (collapsed), and otherwise this request computes as the leader (miss).
+// Hits and collapsed waiters never touch the admission budget — the
+// cache's whole throughput win. The deadline context is established
+// before Do so a waiter parked on a slow leader still honors its own
+// deadline.
+func (s *Server) servePriceCached(w http.ResponseWriter, r *http.Request, start time.Time, req *PriceRequest, cfg finbench.Config) {
+	deadline := s.cfg.MaxDeadline
+	if req.DeadlineMS > 0 {
+		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < deadline {
+			deadline = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	body, outcome, err := s.cache.Do(ctx, s.cacheKey(req, cfg), func(ctx context.Context) ([]byte, bool, error) {
+		return s.computeCacheable(ctx, req, cfg)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, errShed):
+			s.stats.shedAdmission.Add(1)
+			s.writeShed(w, "work budget exhausted")
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			s.writeError(w, http.StatusRequestTimeout, "pricing deadline exceeded")
+		default:
+			s.writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	w.Header().Set(pricecache.Header, outcome.String())
+	s.stats.observeLatency(finbench.ClosedForm.String(), time.Since(start))
+	s.writeRaw(w, http.StatusOK, body)
+}
+
+// computeCacheable is the singleflight leader's computation: admission,
+// kernel, and the one-and-only marshal. The returned bytes are what the
+// store replays, so a cache hit is byte-identical to the cold 200 by
+// construction. ElapsedUS stays zero — timing is transport metadata,
+// deliberately excluded from the content address.
+func (s *Server) computeCacheable(ctx context.Context, req *PriceRequest, cfg finbench.Config) ([]byte, bool, error) {
+	units, ok := s.adm.acquire(unitCost(finbench.ClosedForm, cfg, len(req.Options)), s.cfg.AdmitWait)
+	if !ok {
+		s.deg.noteShed()
+		return nil, false, errShed
+	}
+	s.deg.noteAdmit()
+	defer s.adm.release(units)
+
+	resp := PriceResponse{
+		Method: finbench.ClosedForm.String(),
+		Config: wireFromConfig(cfg),
+	}
+	if err := s.priceClosedForm(ctx, req, &resp); err != nil {
+		return nil, false, err
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(&resp); err != nil {
+		return nil, false, err
+	}
+	return buf.Bytes(), true, nil
+}
+
+// cacheKey digests the request against the server's market and the
+// resolved effective config, so any effective-config or market change
+// re-keys every entry — invalidation by construction.
+func (s *Server) cacheKey(req *PriceRequest, cfg finbench.Config) pricecache.Key {
+	contracts := make([]pricecache.Contract, len(req.Options))
+	for i := range req.Options {
+		o := &req.Options[i]
+		contracts[i] = pricecache.Contract{
+			Type: o.Type, Style: o.Style,
+			Spot: o.Spot, Strike: o.Strike, Expiry: o.Expiry,
+		}
+	}
+	return pricecache.Digest(finbench.ClosedForm.String(),
+		s.cfg.Market.Rate, s.cfg.Market.Volatility,
+		pricecache.Params{
+			BinomialSteps: cfg.BinomialSteps,
+			GridPoints:    cfg.GridPoints,
+			TimeSteps:     cfg.TimeSteps,
+			MCPaths:       cfg.MCPaths,
+			Seed:          cfg.Seed,
+		}, contracts)
 }
 
 // priceClosedForm prices via the SOA batch engine: small requests go
@@ -468,6 +591,15 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	s.stats.countCode(code)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeRaw writes pre-marshalled response bytes (the cache stores the
+// exact bytes the cold computation produced).
+func (s *Server) writeRaw(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	s.stats.countCode(code)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {

@@ -1,0 +1,289 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"finbench/internal/serve"
+	"finbench/internal/serve/pricecache"
+)
+
+// TestRouterCacheHitByteIdentity: through the router, a cache-hit 200
+// must be byte-identical to the cold routed 200 — the stored bytes are a
+// replica's verbatim answer, and the routed-bit-identity invariant makes
+// any replica's answer the answer.
+func TestRouterCacheHitByteIdentity(t *testing.T) {
+	urls, _, _ := newBackends(t, 2)
+	router := newRouter(t, Config{Backends: urls, CacheBytes: 1 << 20})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	body := priceBody("", 4)
+	respCold, cold := post(t, front.URL, "/price", body)
+	if respCold.StatusCode != 200 {
+		t.Fatalf("cold status %d: %s", respCold.StatusCode, cold)
+	}
+	if got := respCold.Header.Get(pricecache.Header); got != "miss" {
+		t.Fatalf("cold %s = %q, want miss", pricecache.Header, got)
+	}
+	if respCold.Header.Get("X-Finserve-Replica") == "" {
+		t.Error("leader 200 missing routing headers")
+	}
+
+	respHit, hit := post(t, front.URL, "/price", body)
+	if respHit.StatusCode != 200 {
+		t.Fatalf("hit status %d: %s", respHit.StatusCode, hit)
+	}
+	if got := respHit.Header.Get(pricecache.Header); got != "hit" {
+		t.Fatalf("hit %s = %q, want hit", pricecache.Header, got)
+	}
+	if respHit.Header.Get("X-Finserve-Replica") != "" {
+		t.Error("cache hit claims a serving replica")
+	}
+	if !bytes.Equal(cold, hit) {
+		t.Fatalf("router cache hit differs from cold 200:\ncold: %s\nhit:  %s", cold, hit)
+	}
+
+	snap := router.Snapshot()
+	if snap.Cache == nil || snap.Cache.Hits != 1 || snap.Cache.Misses != 1 {
+		t.Fatalf("router cache stats = %+v", snap.Cache)
+	}
+}
+
+// TestRouterCacheBypasses pins the router-tier cacheability rule: Monte
+// Carlo and the lattice methods bypass; undecodable bodies bypass (and
+// still reach a backend for its 400).
+func TestRouterCacheBypasses(t *testing.T) {
+	urls, _, _ := newBackends(t, 1)
+	router := newRouter(t, Config{Backends: urls, CacheBytes: 1 << 20})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	for _, method := range []string{"monte-carlo", "binomial-tree"} {
+		for i := 0; i < 2; i++ {
+			resp, body := post(t, front.URL, "/price", priceBody(method, 2))
+			if resp.StatusCode != 200 {
+				t.Fatalf("%s status %d: %s", method, resp.StatusCode, body)
+			}
+			if got := resp.Header.Get(pricecache.Header); got != "bypass" {
+				t.Fatalf("%s request %d: %s = %q, want bypass", method, i, pricecache.Header, got)
+			}
+		}
+	}
+	resp, _ := post(t, front.URL, "/price", []byte(`{"options":`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("undecodable body status %d, want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get(pricecache.Header); got != "bypass" {
+		t.Fatalf("undecodable body %s = %q, want bypass", pricecache.Header, got)
+	}
+	if snap := router.Snapshot(); snap.Cache.Entries != 0 {
+		t.Fatalf("bypass traffic entered the cache: %+v", snap.Cache)
+	}
+}
+
+// TestRouterCacheCollapse: concurrent identical closed-form requests
+// while the leader routes must collapse to one backend exchange.
+func TestRouterCacheCollapse(t *testing.T) {
+	urls, servers, _ := newBackends(t, 2)
+	_ = servers
+	router := newRouter(t, Config{Backends: urls, CacheBytes: 1 << 20})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	body := priceBody("", 64)
+	const n = 8
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, b := post(t, front.URL, "/price", body)
+			if resp.StatusCode == 200 {
+				bodies[i] = b
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	snap := router.Snapshot()
+	if snap.Cache.Misses != 1 {
+		t.Fatalf("burst routed %d backend exchanges, want 1: %+v", snap.Cache.Misses, snap.Cache)
+	}
+	if snap.Cache.Collapsed == 0 {
+		t.Fatalf("no singleflight collapse under identical burst: %+v", snap.Cache)
+	}
+	var ref []byte
+	for i, b := range bodies {
+		if b == nil {
+			t.Fatalf("request %d failed", i)
+		}
+		if ref == nil {
+			ref = b
+		} else if !bytes.Equal(ref, b) {
+			t.Fatalf("burst responses differ")
+		}
+	}
+}
+
+// TestRouterCacheDegradedUncacheable: a degraded 200 must not enter the
+// router cache — it reflects the replica's overload state, not the
+// request.
+func TestRouterCacheDegradedUncacheable(t *testing.T) {
+	if cacheable200([]byte(`{"results":[{"price":1}],"degraded":true}`)) {
+		t.Fatal("degraded 200 classified cacheable")
+	}
+	if !cacheable200([]byte(`{"results":[{"price":1}]}`)) {
+		t.Fatal("clean 200 classified uncacheable")
+	}
+	if cacheable200([]byte(`not json`)) {
+		t.Fatal("unparseable 200 classified cacheable")
+	}
+}
+
+// TestRouterCacheKeyCanonicalization: the router key builder inherits
+// the digest equivalences and excludes transport fields (deadline_ms).
+func TestRouterCacheKeyCanonicalization(t *testing.T) {
+	a, okA := routerCacheKey([]byte(`{"options":[{"spot":100,"strike":95,"expiry":1}]}`))
+	b, okB := routerCacheKey([]byte(`{"method":"closed-form","options":[{"type":"call","style":"european","spot":100,"strike":95,"expiry":1}]}`))
+	if !okA || !okB || a != b {
+		t.Fatal("canonically equal bodies keyed differently")
+	}
+	c, okC := routerCacheKey([]byte(`{"options":[{"spot":100,"strike":95,"expiry":1}],"deadline_ms":250}`))
+	if !okC || a != c {
+		t.Fatal("deadline_ms must not affect the content address")
+	}
+	d, okD := routerCacheKey([]byte(`{"options":[{"type":"put","spot":100,"strike":95,"expiry":1}]}`))
+	if !okD || a == d {
+		t.Fatal("put keyed same as call")
+	}
+	if _, ok := routerCacheKey([]byte(`{"method":"monte-carlo","options":[{"spot":100,"strike":95,"expiry":1}]}`)); ok {
+		t.Fatal("monte-carlo body classified cacheable")
+	}
+	if _, ok := routerCacheKey([]byte(`{"method":"trinomial-tree","options":[{"spot":100,"strike":95,"expiry":1}]}`)); ok {
+		t.Fatal("lattice body classified cacheable")
+	}
+	if _, ok := routerCacheKey([]byte(`garbage`)); ok {
+		t.Fatal("undecodable body classified cacheable")
+	}
+}
+
+// TestRouterCacheAllBackendsDownWaitersFail: when no replica is
+// routable, the leader fails with errNoReplica mapped to 503 and a
+// concurrent waiter must re-dispatch and fail the same way under its own
+// deadline — never hang on the dead flight.
+func TestRouterCacheAllBackendsDownWaitersFail(t *testing.T) {
+	urls, _, https := newBackends(t, 1)
+	router := newRouter(t, Config{
+		Backends:       urls,
+		CacheBytes:     1 << 20,
+		HealthInterval: time.Hour, // freeze the optimistic healthy state
+		MaxAttempts:    1,
+	})
+	front := httptest.NewServer(router)
+	defer front.Close()
+	https[0].Close() // kill the only backend after boot
+
+	body := priceBody("", 2)
+	const n = 4
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := post(t, front.URL, "/price", body)
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("requests hung with all backends down")
+	}
+	for i, code := range codes {
+		if code == 200 {
+			t.Errorf("request %d got 200 with all backends down", i)
+		}
+	}
+	if snap := router.Snapshot(); snap.Cache.Entries != 0 {
+		t.Fatalf("failure entered the cache: %+v", snap.Cache)
+	}
+}
+
+// TestRouterCacheVsDirectBitIdentical: a router cache hit equals the
+// direct single-backend answer modulo the volatile elapsed_us — checked
+// structurally like TestRoutedBitIdentical.
+func TestRouterCacheVsDirectBitIdentical(t *testing.T) {
+	urls, _, _ := newBackends(t, 2)
+	router := newRouter(t, Config{Backends: urls, CacheBytes: 1 << 20})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	body := priceBody("", 8)
+	post(t, front.URL, "/price", body) // warm
+	resp, hit := post(t, front.URL, "/price", body)
+	if resp.StatusCode != 200 || resp.Header.Get(pricecache.Header) != "hit" {
+		t.Fatalf("warm request: status %d header %q", resp.StatusCode, resp.Header.Get(pricecache.Header))
+	}
+	dresp, direct := post(t, urls[0], "/price", body)
+	if dresp.StatusCode != 200 {
+		t.Fatalf("direct status %d", dresp.StatusCode)
+	}
+	var a, b serve.PriceResponse
+	if err := json.Unmarshal(hit, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(direct, &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("result count %d vs %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		if a.Results[i].Price != b.Results[i].Price {
+			t.Errorf("option %d: cached %v direct %v", i, a.Results[i].Price, b.Results[i].Price)
+		}
+	}
+	if a.Method != b.Method || a.Config != b.Config {
+		t.Errorf("effective config differs: %+v vs %+v", a, b)
+	}
+}
+
+// TestRouterForwardsReplicaCacheHeader: a cache-less router fronting a
+// cache-enabled replica must forward the replica's X-Finserve-Cache
+// outcome verbatim, so a replica-tier deployment still reports its
+// observed hit rate at the client (loadgen counts these headers).
+func TestRouterForwardsReplicaCacheHeader(t *testing.T) {
+	s := serve.New(serve.Config{CacheBytes: 1 << 20, CoalesceMaxBatch: 1, ProfileEvery: -1})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer s.Close()
+	router := newRouter(t, Config{Backends: []string{hs.URL}})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	body := priceBody("closed-form", 4)
+	respCold, cold := post(t, front.URL, "/price", body)
+	if respCold.StatusCode != 200 {
+		t.Fatalf("cold status %d: %s", respCold.StatusCode, cold)
+	}
+	if got := respCold.Header.Get(pricecache.Header); got != "miss" {
+		t.Fatalf("cold response forwarded cache header %q, want miss", got)
+	}
+	respHit, hit := post(t, front.URL, "/price", body)
+	if got := respHit.Header.Get(pricecache.Header); got != "hit" {
+		t.Fatalf("warm response forwarded cache header %q, want hit", got)
+	}
+	if !bytes.Equal(cold, hit) {
+		t.Fatalf("replica-tier hit differs from cold response through the router")
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"time"
 
 	"finbench/internal/resilience"
+	"finbench/internal/serve"
+	"finbench/internal/serve/pricecache"
 )
 
 // maxProxyBody bounds request and response bodies the router will carry
@@ -73,6 +75,17 @@ type Config struct {
 	// Transport overrides the backend round-tripper (tests inject
 	// faults here); nil means http.DefaultTransport.
 	Transport http.RoundTripper
+
+	// CacheBytes enables a router-level content-addressed response cache
+	// with that byte budget (0 disables); CacheTTL expires entries (0 =
+	// never). The router cannot resolve effective configs, so it keys
+	// purely on request content — correct only because the fleet is
+	// homogeneous (every replica shares the market and config defaults,
+	// which `finserve route`'s supervisor guarantees by spawning
+	// identical children). Only closed-form /price requests are cached;
+	// degraded 200s are never stored.
+	CacheBytes int64
+	CacheTTL   time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +134,7 @@ type Router struct {
 	replicas []*replica
 	client   *http.Client
 	budget   *resilience.Budget
+	cache    *pricecache.Cache // nil when caching is disabled
 	start    time.Time
 
 	requests     atomic.Uint64
@@ -153,6 +167,9 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.BudgetRatio >= 0 {
 		r.budget = resilience.NewBudget(cfg.BudgetRatio, cfg.BudgetCap)
+	}
+	if cfg.CacheBytes > 0 {
+		r.cache = pricecache.New(cfg.CacheBytes, cfg.CacheTTL)
 	}
 	for _, u := range cfg.Backends {
 		rep := &replica{url: u, breaker: resilience.NewBreaker(cfg.Breaker)}
@@ -206,6 +223,7 @@ type backendResult struct {
 	body       []byte
 	contentTyp string
 	retryAfter string
+	cacheOut   string // replica-tier X-Finserve-Cache, forwarded as-is
 	rep        *replica
 }
 
@@ -223,7 +241,8 @@ func (e *httpFailure) Error() string {
 var errNoReplica = errors.New("no routable replica")
 
 // route proxies one pricing request with retry, failover and optional
-// hedging.
+// hedging; cacheable closed-form /price requests go through the
+// router-level content cache first.
 func (r *Router) route(w http.ResponseWriter, req *http.Request) {
 	r.requests.Add(1)
 	body, err := io.ReadAll(io.LimitReader(req.Body, maxProxyBody))
@@ -244,12 +263,44 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request) {
 	ctx := req.Context()
 	if sniff.DeadlineMS > 0 {
 		// The deadline travels in the body and the backend enforces it;
-		// mirroring it here bounds retries and backoff waits too.
+		// mirroring it here bounds retries and backoff waits too. It is
+		// established before any cache wait, so a waiter parked on a
+		// slow singleflight leader still honors its own deadline.
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(sniff.DeadlineMS)*time.Millisecond)
 		defer cancel()
 	}
 
+	if r.cache != nil && req.URL.Path == "/price" {
+		if key, ok := routerCacheKey(body); ok {
+			r.routeCached(ctx, w, req.Method, body, key)
+			return
+		}
+		w.Header().Set(pricecache.Header, "bypass")
+	}
+
+	res, err := r.dispatch(ctx, req.Method, req.URL.Path, body, monteCarlo)
+	if err != nil {
+		r.writeRouteError(w, err, res)
+		return
+	}
+	r.passThrough(w, res.final, res.st, res.hedgeWon, res.retries)
+}
+
+// routeResult is one full routed exchange: the response to forward plus
+// the per-request routing state the response headers are built from.
+type routeResult struct {
+	final    *backendResult
+	st       *reqState
+	hedgeWon bool
+	retries  int // sequential retries only; hedge legs are not retries
+}
+
+// dispatch runs the retry/failover/hedge machinery for one request and
+// returns the response to forward. On error, result.final carries the
+// last retryable backend response when there was one (so the caller can
+// still pass it through).
+func (r *Router) dispatch(ctx context.Context, method, path string, body []byte, monteCarlo bool) (*routeResult, error) {
 	// Monte Carlo answers depend on the batch decomposition, so a
 	// second execution is not "the same answer, again" — it gets
 	// exactly one attempt and no hedge.
@@ -261,21 +312,17 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request) {
 		hedgeN = 2
 	}
 
-	st := &reqState{
+	out := &routeResult{st: &reqState{
 		excluded: make(map[*replica]bool),
 		inUse:    make(map[*replica]int),
-	}
-	var final *backendResult
-	hedgeWon := false
-	retryCount := 0 // sequential retries only; hedge legs are not retries
-
-	err = resilience.Retry(ctx, attempts, r.cfg.Backoff, r.budget, func(ctx context.Context, attempt int) error {
+	}}
+	err := resilience.Retry(ctx, attempts, r.cfg.Backoff, r.budget, func(ctx context.Context, attempt int) error {
 		if attempt > 0 {
-			retryCount++
+			out.retries++
 			r.retries.Add(1)
-			st.mu.Lock()
-			failedOver := len(st.excluded) > 0
-			st.mu.Unlock()
+			out.st.mu.Lock()
+			failedOver := len(out.st.excluded) > 0
+			out.st.mu.Unlock()
 			if failedOver {
 				r.failovers.Add(1)
 			}
@@ -284,43 +331,130 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request) {
 			if h > 0 {
 				r.hedges.Add(1)
 			}
-			return r.attemptOnce(hctx, req.Method, req.URL.Path, body, st)
+			return r.attemptOnce(hctx, method, path, body, out.st)
 		})
 		if err != nil {
 			var hf *httpFailure
 			if errors.As(err, &hf) {
-				final = hf.res
+				out.final = hf.res
 			}
 			return err
 		}
 		if idx > 0 {
 			r.hedgeWins.Add(1)
-			hedgeWon = true
+			out.hedgeWon = true
 		}
-		final = res
+		out.final = res
 		return nil
 	})
+	return out, err
+}
 
-	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusRequestTimeout, "routing deadline exceeded")
-		case errors.Is(err, errNoReplica):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "no routable replica")
-		case errors.Is(err, context.Canceled):
-			// Client went away; nothing useful to write.
-		default:
-			var hf *httpFailure
-			if errors.As(err, &hf) && final != nil {
-				r.passThrough(w, final, st, hedgeWon, retryCount)
-				return
-			}
-			writeError(w, http.StatusBadGateway, "replica unreachable: "+err.Error())
+// writeRouteError maps a dispatch failure onto the client response.
+func (r *Router) writeRouteError(w http.ResponseWriter, err error, res *routeResult) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusRequestTimeout, "routing deadline exceeded")
+	case errors.Is(err, errNoReplica):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no routable replica")
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+	default:
+		var hf *httpFailure
+		if errors.As(err, &hf) && res != nil && res.final != nil {
+			r.passThrough(w, res.final, res.st, res.hedgeWon, res.retries)
+			return
 		}
-		return
+		writeError(w, http.StatusBadGateway, "replica unreachable: "+err.Error())
 	}
-	r.passThrough(w, final, st, hedgeWon, retryCount)
+}
+
+// errUncacheable marks a leader exchange whose response must not be
+// shared: non-200, or a degraded 200. The response belongs to the
+// request that provoked it; waiters re-dispatch their own exchange.
+var errUncacheable = errors.New("response not cacheable")
+
+// routeCached serves a closed-form /price request through the router
+// cache: hits and collapsed waiters are answered from stored replica
+// bytes without touching a backend; a miss routes normally as the
+// singleflight leader and stores its 200. The routed-200s-bit-identical
+// invariant makes the stored bytes exactly what any replica would
+// answer, so a hit is indistinguishable from a fresh route.
+func (r *Router) routeCached(ctx context.Context, w http.ResponseWriter, method string, body []byte, key pricecache.Key) {
+	var lead *routeResult
+	respBody, outcome, err := r.cache.Do(ctx, key, func(ctx context.Context) ([]byte, bool, error) {
+		res, err := r.dispatch(ctx, method, "/price", body, false)
+		lead = res
+		if err != nil {
+			return nil, false, err
+		}
+		if res.final.status != http.StatusOK || !cacheable200(res.final.body) {
+			return res.final.body, false, errUncacheable
+		}
+		return res.final.body, true, nil
+	})
+	switch {
+	case err == nil && outcome == pricecache.Miss:
+		// Leader with a cacheable 200: forward with full routing headers.
+		w.Header().Set(pricecache.Header, outcome.String())
+		r.passThrough(w, lead.final, lead.st, lead.hedgeWon, lead.retries)
+	case err == nil:
+		// Hit or collapsed: served from the cache; no replica involved,
+		// so no routing headers.
+		w.Header().Set(pricecache.Header, outcome.String())
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(respBody)
+	case errors.Is(err, errUncacheable):
+		// This caller led and got a non-shareable answer: forward it as
+		// the plain path would have.
+		w.Header().Set(pricecache.Header, "miss")
+		r.passThrough(w, lead.final, lead.st, lead.hedgeWon, lead.retries)
+	default:
+		r.writeRouteError(w, err, lead)
+	}
+}
+
+// routerCacheKey canonicalizes a /price body into a content address, or
+// reports it non-cacheable. The router keys on the request as sent
+// (market and config resolution happen on the replicas; fleet
+// homogeneity — see Config.CacheBytes — makes every replica's answer
+// identical for identical requests). Only closed-form is cacheable: the
+// same composition-independence rule as the replica tier.
+func routerCacheKey(body []byte) (pricecache.Key, bool) {
+	req, err := serve.DecodeRequest(body)
+	if err != nil || (req.Method != "" && req.Method != "closed-form") {
+		return pricecache.Key{}, false
+	}
+	contracts := make([]pricecache.Contract, len(req.Options))
+	for i := range req.Options {
+		o := &req.Options[i]
+		contracts[i] = pricecache.Contract{
+			Type: o.Type, Style: o.Style,
+			Spot: o.Spot, Strike: o.Strike, Expiry: o.Expiry,
+		}
+	}
+	return pricecache.Digest("closed-form", 0, 0, pricecache.Params{
+		BinomialSteps: req.Config.BinomialSteps,
+		GridPoints:    req.Config.GridPoints,
+		TimeSteps:     req.Config.TimeSteps,
+		MCPaths:       req.Config.MCPaths,
+		Seed:          req.Config.Seed,
+	}, contracts), true
+}
+
+// cacheable200 rejects 200s that are not pure functions of the request:
+// a degraded response reflects the serving replica's overload state, not
+// the contract batch.
+func cacheable200(body []byte) bool {
+	var sniff struct {
+		Degraded bool `json:"degraded"`
+	}
+	if err := json.Unmarshal(body, &sniff); err != nil {
+		return false
+	}
+	return !sniff.Degraded
 }
 
 // passThrough forwards a backend response verbatim, plus the routing
@@ -334,6 +468,12 @@ func (r *Router) passThrough(w http.ResponseWriter, res *backendResult, st *reqS
 	}
 	if res.retryAfter != "" {
 		h.Set("Retry-After", res.retryAfter)
+	}
+	// Forward a replica-tier cache outcome unless this router's own cache
+	// already recorded one (its outcome describes the exchange the client
+	// actually had).
+	if res.cacheOut != "" && h.Get(pricecache.Header) == "" {
+		h.Set(pricecache.Header, res.cacheOut)
 	}
 	h.Set("X-Finserve-Replica", res.rep.url)
 	h.Set("X-Finserve-Attempts", fmt.Sprintf("%d", st.attempts.Load()))
@@ -388,6 +528,7 @@ func (r *Router) attemptOnce(ctx context.Context, method, path string, body []by
 		body:       respBody,
 		contentTyp: resp.Header.Get("Content-Type"),
 		retryAfter: resp.Header.Get("Retry-After"),
+		cacheOut:   resp.Header.Get(pricecache.Header),
 		rep:        rep,
 	}
 	switch {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"finbench/internal/resilience"
+	"finbench/internal/serve/pricecache"
 )
 
 // ReplicaStatus is one replica's observable routing state.
@@ -35,6 +36,11 @@ type StatszResponse struct {
 	HealthSweeps uint64 `json:"health_sweeps"`
 
 	UptimeS float64 `json:"uptime_s"`
+
+	// Cache is the router-level content cache's counters (a fixed
+	// struct, so snapshot encoding stays deterministic); nil when
+	// caching is disabled.
+	Cache *pricecache.Stats `json:"cache,omitempty"`
 }
 
 // HealthzResponse is the router's GET /healthz body.
@@ -58,6 +64,10 @@ func (r *Router) Snapshot() StatszResponse {
 		UptimeS:      time.Since(r.start).Seconds(),
 	}
 	snap.BudgetSpent, snap.BudgetDenied = r.budget.Counters()
+	if r.cache != nil {
+		cs := r.cache.Snapshot()
+		snap.Cache = &cs
+	}
 	for _, rep := range r.replicas {
 		snap.Replicas = append(snap.Replicas, ReplicaStatus{
 			URL:       rep.url,

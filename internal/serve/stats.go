@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"finbench/internal/parallel"
+	"finbench/internal/serve/pricecache"
 )
 
 // Observability. /statsz reports everything an operator needs to see the
@@ -173,6 +174,11 @@ type StatszResponse struct {
 	// OpMix is the sampled dynamic operation mix of the coalesced batch
 	// engine (op name -> count over sampled flushes).
 	OpMix map[string]uint64 `json:"opmix,omitempty"`
+
+	// Cache is the content-addressed response cache's counters (a fixed
+	// struct, not a map, so snapshot encoding stays deterministic); nil
+	// when caching is disabled.
+	Cache *pricecache.Stats `json:"cache,omitempty"`
 }
 
 func (s *Server) statszSnapshot() StatszResponse {
@@ -218,6 +224,10 @@ func (s *Server) statszSnapshot() StatszResponse {
 	}
 	if mix := s.co.OpMix(); mix.Items > 0 {
 		out.OpMix = mix.Map()
+	}
+	if s.cache != nil {
+		cs := s.cache.Snapshot()
+		out.Cache = &cs
 	}
 	return out
 }

@@ -78,12 +78,14 @@ else
 		./internal/fault \
 		./internal/serve \
 		./internal/serve/coalesce \
+		./internal/serve/pricecache \
+		./internal/serve/loadgen \
 		./internal/serve/shard
 
 	echo "==> fuzz seed corpora"
 	go test -run='^Fuzz' -count=1 -timeout 10m \
 		./internal/mathx ./internal/rng ./internal/blackscholes \
-		./internal/serve ./internal/serve/shard
+		./internal/serve ./internal/serve/pricecache ./internal/serve/shard
 
 	echo "==> e2e smoke: finserve boot + loadgen gates"
 	./scripts/e2e_smoke.sh

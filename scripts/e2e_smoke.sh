@@ -13,6 +13,12 @@
 #   phase 4  admission saturation: a tiny work budget must shed with 503
 #            and nothing else (no 5xx other than 503)
 #   phase 5  rate limiting: a tiny token bucket must answer 429
+#   phase 6  pricing cache: a concurrent identical burst must collapse
+#            onto one singleflight leader, and a Zipf-skewed pool must
+#            clear a hit-rate floor with every 200 — cold or cached —
+#            still bit-matching the library (-verify with the cache on)
+#   phase 7  router-tier cache: same hit-rate + bit-identity contract
+#            with the cache in the router, fronting spawned replicas
 #
 # Usage: ./scripts/e2e_smoke.sh   (E2E_PORT overrides the default port)
 set -euo pipefail
@@ -29,6 +35,10 @@ cleanup() {
 	if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
 		kill -KILL "$SERVER_PID" 2>/dev/null || true
 	fi
+	# Phase 7 runs the router, whose replica children a KILL above would
+	# orphan (children run from the tmp binary, so the pattern cannot
+	# touch unrelated processes).
+	pkill -KILL -f "$BIN serve" 2>/dev/null || true
 	rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -112,6 +122,44 @@ boot -rate 2 -burst 2
 	-mix "closed-form=1" -options 2 \
 	-assert-codes 200,429 -min-count 200:1,429:1 ||
 	fail "phase 5 (rate limit)"
+stop_drain 5000
+
+echo "==> e2e phase 6: pricing cache (singleflight collapse + Zipf hit-rate floor)"
+# A widened coalesce window makes the cache-miss leader dwell in the
+# coalescer, so the identical concurrent requests demonstrably park on
+# its flight instead of racing it to completion.
+boot -cache-bytes 67108864 -coalesce-window 10ms
+"$BIN" loadgen -url "$URL" -requests 64 -concurrency 8 \
+	-mix "closed-form=1" -options 8 -zipf 0 -zipf-pool 1 \
+	-assert-codes 200 -min-count 200:64 -assert-min-collapsed 1 ||
+	fail "phase 6a (singleflight collapse on an identical burst)"
+# Zipf-skewed pool: misses are bounded by the pool size, so the floor is
+# guaranteed by construction (300 requests, <=64 cold misses); -verify
+# recomputes every 200 — cold or cache-served — against the library.
+"$BIN" loadgen -url "$URL" -requests 300 -concurrency 4 \
+	-mix "closed-form=1" -options 8 -zipf 1.2 -zipf-pool 64 -seed 3 \
+	-verify -assert-codes 200 -min-count 200:300 -assert-min-hit-rate 0.5 ||
+	fail "phase 6b (zipf hit rate / bit-clean with cache on)"
+stop_drain 5000
+
+echo "==> e2e phase 7: router-tier cache over spawned replicas (bit-clean hits)"
+: >"$LOG"
+"$BIN" route -addr "127.0.0.1:${PORT}" -replicas 2 -port-base "$((PORT + 500))" \
+	-cache-tier router -cache-bytes 67108864 >>"$LOG" 2>&1 &
+SERVER_PID=$!
+wait_port
+for _ in $(seq 1 100); do
+	resp=$( (exec 3<>"/dev/tcp/127.0.0.1/${PORT}" &&
+		printf 'GET /healthz HTTP/1.0\r\n\r\n' >&3 && cat <&3) 2>/dev/null || true)
+	if grep -q '"replicas_routable":2' <<<"$resp"; then
+		break
+	fi
+	sleep 0.1
+done
+"$BIN" loadgen -url "$URL" -requests 200 -concurrency 4 \
+	-mix "closed-form=1" -options 8 -zipf 1.1 -zipf-pool 32 -seed 5 \
+	-verify -assert-codes 200 -min-count 200:200 -assert-min-hit-rate 0.5 ||
+	fail "phase 7 (router-tier cache hit rate / bit-clean)"
 stop_drain 5000
 
 echo "e2e: all phases passed"
