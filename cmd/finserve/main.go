@@ -217,6 +217,7 @@ func runLoadgen(args []string) int {
 		seed         = fs.Int64("seed", 1, "option-stream seed")
 		timeout      = fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout")
 		verify       = fs.Bool("verify", false, "recompute every 200 against the library; fail on mismatch")
+		wireFmt      = fs.String("wire", "json", "closed-form /price framing: json or columnar (binary frame; with -verify each columnar 200 is cross-checked bit-identical against a JSON replay)")
 		assertCodes  = fs.String("assert-codes", "", "comma list of the only status codes allowed, e.g. 200,429,503")
 		minCount     = fs.String("min-count", "", "minimum responses per code, e.g. 200:40,503:1")
 		schedFrozen  = fs.Bool("check-sched-frozen", false, "after the run, require the pool scheduler counters to stop advancing")
@@ -270,6 +271,7 @@ func runLoadgen(args []string) int {
 			TimeSteps:     *timeSteps,
 		},
 		Verify:   *verify,
+		Wire:     *wireFmt,
 		Seed:     *seed,
 		Timeout:  *timeout,
 		ZipfPool: *zipfPool,
@@ -296,6 +298,9 @@ func runLoadgen(args []string) int {
 	}
 	if *verify && rep.Verified == 0 && rep.Count(200) > 0 {
 		fail("verification requested but nothing was verified")
+	}
+	if *wireFmt == "columnar" && rep.Columnar == 0 && rep.Count(200) > 0 {
+		fail("-wire columnar requested but no 200 arrived over the columnar framing")
 	}
 	if len(allow) > 0 {
 		for code, n := range rep.Codes {

@@ -3,6 +3,7 @@ package finbench
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"finbench/internal/binomial"
 	"finbench/internal/blackscholes"
@@ -164,12 +165,23 @@ func PriceBatchCtx(ctx context.Context, b *Batch, m Market, level OptLevel) erro
 		}
 		return nil
 	case LevelIntermediate, LevelAdvanced:
-		soa := &layout.SOA{S: b.Spots, X: b.Strikes, T: b.Expiries, Call: b.Calls, Put: b.Puts}
+		// The SOA wrapper is five slice headers over the batch's own
+		// storage; pooled because taking its address makes it escape,
+		// which would put one allocation on every serving-tier request.
+		soa := soaPool.Get().(*layout.SOA)
+		*soa = layout.SOA{S: b.Spots, X: b.Strikes, T: b.Expiries, Call: b.Calls, Put: b.Puts}
+		var err error
 		if level == LevelIntermediate {
-			return blackscholes.IntermediateCtx(ctx, soa, mkt, vec.MaxWidth, nil)
+			err = blackscholes.IntermediateCtx(ctx, soa, mkt, vec.MaxWidth, nil)
+		} else {
+			err = blackscholes.AdvancedCtx(ctx, soa, mkt, vec.MaxWidth, nil)
 		}
-		return blackscholes.AdvancedCtx(ctx, soa, mkt, vec.MaxWidth, nil)
+		*soa = layout.SOA{} // drop the slice references before pooling
+		soaPool.Put(soa)
+		return err
 	default:
 		return fmt.Errorf("finbench: unknown optimization level %v", level)
 	}
 }
+
+var soaPool = sync.Pool{New: func() any { return new(layout.SOA) }}

@@ -18,6 +18,7 @@ package blackscholes // finlint:hot — allocation-free loops enforced by intern
 
 import (
 	"context"
+	"sync"
 
 	"finbench/internal/layout"
 	"finbench/internal/mathx"
@@ -220,6 +221,51 @@ func IntermediateCtx(cx context.Context, s *layout.SOA, mkt workload.MarketParam
 // VML's "larger cache footprint").
 const VMLChunk = 2048
 
+// vmlScratch is one worker's set of VML intermediate arrays (5 x 16KiB,
+// cache-blocked). Pooled: the arrays are scratch whose live range is a
+// single AdvancedCtx worker invocation.
+type vmlScratch struct {
+	qlog, denom, xexp, d1, d2 [VMLChunk]float64
+}
+
+var vmlScratchPool = sync.Pool{New: func() any { return new(vmlScratch) }}
+
+// advancedChunk evaluates one cache-blocked chunk [base, base+m) of the
+// VML-style pipeline. Every scratch prefix it reads is overwritten first,
+// so stale pool contents cannot leak into results.
+func advancedChunk(s *layout.SOA, base, m int, r, sig, sig22 float64, sc *vmlScratch) {
+	qlog := sc.qlog[:m]
+	denom := sc.denom[:m]
+	xexp := sc.xexp[:m]
+	d1 := sc.d1[:m]
+	d2 := sc.d2[:m]
+	for i := 0; i < m; i++ {
+		qlog[i] = s.S[base+i] / s.X[base+i]
+	}
+	mathx.LogArray(qlog, qlog)
+	for i := 0; i < m; i++ {
+		denom[i] = sig * sig * s.T[base+i]
+	}
+	mathx.SqrtArray(denom, denom)
+	mathx.InvArray(denom, denom)
+	for i := 0; i < m; i++ {
+		t := s.T[base+i]
+		d1[i] = (qlog[i] + (r+sig22)*t) * denom[i] * mathx.InvSqrt2
+		d2[i] = (qlog[i] + (r-sig22)*t) * denom[i] * mathx.InvSqrt2
+		xexp[i] = -r * t
+	}
+	mathx.ExpArray(xexp, xexp)
+	mathx.ErfArray(d1, d1)
+	mathx.ErfArray(d2, d2)
+	for i := 0; i < m; i++ {
+		x := s.X[base+i] * xexp[i]
+		sp := s.S[base+i]
+		call := sp*0.5*(1+d1[i]) - x*0.5*(1+d2[i])
+		s.Call[base+i] = call
+		s.Put[base+i] = call - sp + x
+	}
+}
+
 // Advanced prices the SOA batch VML-style: whole-array transcendental
 // calls over cache-blocked chunks, with parity and erf substitution.
 func Advanced(s *layout.SOA, mkt workload.MarketParams, width int, c *perf.Counts) {
@@ -235,13 +281,26 @@ func AdvancedCtx(cx context.Context, s *layout.SOA, mkt workload.MarketParams, w
 	n := s.Len()
 	r, sig := mkt.R, mkt.Sigma
 	sig22 := sig * sig / 2
+	if n <= VMLChunk && c == nil {
+		// Single-chunk serial fast path: the serving tier's common case.
+		// A one-chunk region has exactly one cancellation check, which
+		// the entry check below provides, so no fork-join structure (and
+		// none of its closure allocations) is needed. advancedChunk is
+		// the same chunk body the forked path runs, so results stay
+		// bit-identical.
+		if err := cx.Err(); err != nil {
+			return err
+		}
+		sc := vmlScratchPool.Get().(*vmlScratch)
+		advancedChunk(s, 0, n, r, sig, sig22, sc)
+		vmlScratchPool.Put(sc)
+		return nil
+	}
 	run := func(lo, hi int, c *perf.Counts) {
-		// Per-worker scratch (cache-resident intermediates).
-		qlog := make([]float64, VMLChunk)
-		denom := make([]float64, VMLChunk)
-		xexp := make([]float64, VMLChunk)
-		d1 := make([]float64, VMLChunk)
-		d2 := make([]float64, VMLChunk)
+		// Per-worker scratch (cache-resident intermediates), pooled so a
+		// steady request stream prices without per-call slice allocations.
+		sc := vmlScratchPool.Get().(*vmlScratch)
+		defer vmlScratchPool.Put(sc)
 		for base := lo; base < hi; base += VMLChunk {
 			if done != nil {
 				select {
@@ -254,31 +313,7 @@ func AdvancedCtx(cx context.Context, s *layout.SOA, mkt workload.MarketParams, w
 			if m > VMLChunk {
 				m = VMLChunk
 			}
-			for i := 0; i < m; i++ {
-				qlog[i] = s.S[base+i] / s.X[base+i]
-			}
-			mathx.LogArray(qlog[:m], qlog[:m])
-			for i := 0; i < m; i++ {
-				denom[i] = sig * sig * s.T[base+i]
-			}
-			mathx.SqrtArray(denom[:m], denom[:m])
-			mathx.InvArray(denom[:m], denom[:m])
-			for i := 0; i < m; i++ {
-				t := s.T[base+i]
-				d1[i] = (qlog[i] + (r+sig22)*t) * denom[i] * mathx.InvSqrt2
-				d2[i] = (qlog[i] + (r-sig22)*t) * denom[i] * mathx.InvSqrt2
-				xexp[i] = -r * t
-			}
-			mathx.ExpArray(xexp[:m], xexp[:m])
-			mathx.ErfArray(d1[:m], d1[:m])
-			mathx.ErfArray(d2[:m], d2[:m])
-			for i := 0; i < m; i++ {
-				x := s.X[base+i] * xexp[i]
-				sp := s.S[base+i]
-				call := sp*0.5*(1+d1[i]) - x*0.5*(1+d2[i])
-				s.Call[base+i] = call
-				s.Put[base+i] = call - sp + x
-			}
+			advancedChunk(s, base, m, r, sig, sig22, sc)
 		}
 		if c != nil {
 			// VML mix per option (vector-instruction counts per `width`

@@ -91,3 +91,27 @@ var kernelEntryCtx = map[string]string{
 // breakerType is the circuit breaker whose Allow/Success/Failure calls
 // leakcheck requires to be bracketed within one function.
 const breakerType = "(*" + resiliencePkgPath + ".Breaker)"
+
+// coalescePkgPath and wirePkgPath are the serving tier's pooled-object
+// packages: the request coalescer's ticket/batch freelists and the wire
+// codec's request/response/buffer freelists.
+const (
+	coalescePkgPath = "finbench/internal/serve/coalesce"
+	wirePkgPath     = "finbench/internal/serve/wire"
+)
+
+// pooledGetPut maps each pooled acquire entry point to the release a
+// caller must pair it with in the same function. A Get whose result is
+// returned directly transfers ownership to the caller and is exempt
+// (e.g. a decode helper handing the pooled request up to the handler).
+// An unpaired Get silently falls back to garbage-collected allocation:
+// the server stays correct but the zero-allocation serve path regresses
+// one object per request, which is exactly what the freelists exist to
+// prevent.
+var pooledGetPut = map[string]string{
+	coalescePkgPath + ".GetTicket":     coalescePkgPath + ".PutTicket",
+	coalescePkgPath + ".GetBatch":      coalescePkgPath + ".PutBatch",
+	wirePkgPath + ".GetBuffer":         wirePkgPath + ".PutBuffer",
+	wirePkgPath + ".GetPriceResponse":  wirePkgPath + ".PutPriceResponse",
+	wirePkgPath + ".GetGreeksResponse": wirePkgPath + ".PutGreeksResponse",
+}

@@ -6,8 +6,8 @@ import (
 	"go/types"
 )
 
-// leakcheckPass enforces two goroutine-hygiene invariants of the serving
-// tier:
+// leakcheckPass enforces three resource-hygiene invariants of the
+// serving tier:
 //
 //  1. Every goroutine launched outside cmd/ must be joined or bounded:
 //     its body (or, one call-graph hop deeper, the module function it
@@ -23,10 +23,16 @@ import (
 //     probe settles the breaker state on some path. A function that
 //     Allows without settling strands the half-open state's probe
 //     budget and the breaker never closes again.
+//  3. Every pooled-freelist Get (the pooledGetPut registry in
+//     entrypoints.go) must be paired with its Put in the same function,
+//     unless the Get's result is returned directly (ownership transfers
+//     to the caller). An unpaired Get quietly demotes the freelist to
+//     garbage-collected allocation and the zero-allocation serve path
+//     regresses one object per request.
 func leakcheckPass() *Pass {
 	return &Pass{
 		Name:   "leakcheck",
-		Doc:    "unjoined/unbounded goroutine, or breaker Allow without Success+Failure bracketing",
+		Doc:    "unjoined/unbounded goroutine, breaker Allow without Success+Failure bracketing, or pooled Get without its Put",
 		RunMod: runLeakcheck,
 	}
 }
@@ -51,6 +57,7 @@ func runLeakcheck(m *Module, p *Package, report func(pos token.Pos, msg string))
 				})
 			}
 			checkBreakerBracketing(p, fd, report)
+			checkPoolBracketing(p, fd, report)
 		}
 	}
 }
@@ -162,5 +169,66 @@ func checkBreakerBracketing(p *Package, fd *ast.FuncDecl, report func(pos token.
 	}
 	for _, pos := range allows {
 		report(pos, "breaker.Allow without both Success and Failure in the same function; an admitted probe that never settles strands the half-open budget and the breaker cannot close")
+	}
+}
+
+// checkPoolBracketing flags calls to pooled-freelist Get entry points
+// (the pooledGetPut registry) whose matching Put does not appear in the
+// same function. A Get appearing directly inside a return statement is
+// exempt: the pooled object is handed to the caller, who owns the Put.
+func checkPoolBracketing(p *Package, fd *ast.FuncDecl, report func(pos token.Pos, msg string)) {
+	// Collect call expressions whose result is returned directly — those
+	// transfer ownership up the stack.
+	returned := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if call, ok := res.(*ast.CallExpr); ok {
+				returned[call] = true
+			}
+		}
+		return true
+	})
+	type getCall struct {
+		pos token.Pos
+		get string
+		put string
+	}
+	var gets []getCall
+	puts := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var fn *types.Func
+		switch f := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			fn, _ = p.Info.Uses[f.Sel].(*types.Func)
+		case *ast.Ident:
+			fn, _ = p.Info.Uses[f].(*types.Func)
+		}
+		if fn == nil {
+			return true
+		}
+		key := funcKey(fn)
+		if put, ok := pooledGetPut[key]; ok && !returned[call] {
+			gets = append(gets, getCall{call.Pos(), fn.Name(), put})
+		}
+		for _, put := range pooledGetPut {
+			if key == put {
+				puts[key] = true
+				break
+			}
+		}
+		return true
+	})
+	for _, g := range gets {
+		if !puts[g.put] {
+			report(g.pos, g.get+" without a matching "+shortFuncName(g.put)+" in the same function (or a direct return transferring ownership); the freelist degrades to garbage-collected allocation on the hot path")
+		}
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"sync"
 
 	"finbench/internal/resilience"
+	"finbench/internal/serve/coalesce"
+	"finbench/internal/serve/wire"
 )
 
 func work() {}
@@ -140,4 +142,40 @@ func GoodBracketed(b *resilience.Breaker, op func() error) error {
 	}
 	b.Success()
 	return nil
+}
+
+// LeakyPooledBuffer acquires a wire buffer and never releases it: the
+// freelist degrades to garbage-collected allocation on the hot path.
+func LeakyPooledBuffer() int {
+	buf := wire.GetBuffer() // seeded violation
+	buf.B = append(buf.B, '{')
+	return len(buf.B)
+}
+
+// GoodPooledBuffer brackets the Get with its Put in the same function.
+func GoodPooledBuffer() int {
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	buf.B = append(buf.B, '{')
+	return len(buf.B)
+}
+
+// GoodPooledReturn hands the pooled object straight to the caller — a
+// direct return transfers ownership, so the Put lives upstream.
+func GoodPooledReturn() *wire.PriceResponse {
+	return wire.GetPriceResponse()
+}
+
+// LeakyPooledTicket drops a coalescer ticket without recycling it.
+func LeakyPooledTicket(n int) int {
+	t := coalesce.GetTicket(n) // seeded violation
+	return cap(t.Spots)
+}
+
+// GoodPooledTicket recycles the ticket on every path.
+func GoodPooledTicket(n int) int {
+	t := coalesce.GetTicket(n)
+	c := cap(t.Spots)
+	coalesce.PutTicket(t)
+	return c
 }

@@ -25,14 +25,20 @@ import (
 )
 
 // Ticket is one request's slice of a future mega-batch. The caller fills
-// the input slices; after Price returns, Calls and Puts view the priced
-// mega-batch rows for this ticket (valid until the ticket is dropped).
+// the input slices; after Price returns, Calls and Puts hold the priced
+// rows for this ticket, copied out of the mega-batch so the batch scratch
+// can be recycled (valid until the ticket is dropped or returned to the
+// pool with PutTicket).
 type Ticket struct {
 	Spots, Strikes, Expiries []float64
 	// Deadline bounds the flush that prices this ticket; zero means none.
+	// It is also checked per ticket when results are distributed: a ticket
+	// whose own deadline expired while riding a flush bounded by a later
+	// deadline fails with context.DeadlineExceeded instead of returning a
+	// price after its deadline.
 	Deadline time.Time
 
-	// Calls and Puts are set by the flush on success.
+	// Calls and Puts are filled by the flush on success.
 	Calls, Puts []float64
 	// BatchN is the size of the mega-batch this ticket was priced in.
 	BatchN int
@@ -94,16 +100,28 @@ func New(mkt finbench.Market, window time.Duration, maxBatch int, profileEvery i
 // returns the ticket's error (nil on success). Concurrent callers are
 // merged into the same batch when they arrive within the window.
 func (c *Coalescer) Price(t *Ticket) error {
-	t.done = make(chan struct{})
+	if t.done == nil {
+		t.done = make(chan struct{}, 1)
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		t.Err = context.Canceled
 		return t.Err
 	}
+	if c.pending == nil {
+		c.pending = getTicketSlice()
+	}
 	c.pending = append(c.pending, t)
 	c.pendingN += len(t.Spots)
 	if c.pendingN >= c.maxBatch {
+		// A threshold flush supersedes the window: disarm the timer so the
+		// next batch's first ticket re-arms a full window instead of
+		// inheriting this batch's near-expired one.
+		if c.timerArmed {
+			c.timerArmed = false
+			c.timer.Stop()
+		}
 		batch := c.takeLocked()
 		c.mu.Unlock()
 		// The submitter whose ticket crossed the threshold prices the
@@ -135,11 +153,14 @@ func (c *Coalescer) Flush() {
 func (c *Coalescer) Close() {
 	c.mu.Lock()
 	c.closed = true
+	c.timerArmed = false
+	c.timer.Stop()
 	batch := c.takeLocked()
 	c.mu.Unlock()
 	for _, t := range batch {
 		t.Err = context.Canceled
-		close(t.done)
+		// finlint:ignore hotalloc struct{}{} is zero-size; a send of it never heap-allocates
+		t.done <- struct{}{}
 	}
 }
 
@@ -192,7 +213,7 @@ func (c *Coalescer) flush(batch []*Ticket) {
 			latest = t.Deadline
 		}
 	}
-	mega := finbench.NewBatch(n)
+	mega := GetBatch(n)
 	lo := 0
 	for _, t := range batch {
 		copy(mega.Spots[lo:], t.Spots)
@@ -202,7 +223,8 @@ func (c *Coalescer) flush(batch []*Ticket) {
 	}
 	// The flush deadline is the latest ticket deadline: when it fires,
 	// every ticket in the batch has expired, so failing them all is
-	// exact, not collateral damage.
+	// exact, not collateral damage. Tickets with earlier deadlines are
+	// re-checked individually at distribution time below.
 	ctx := context.Background()
 	var cancel context.CancelFunc
 	if bounded {
@@ -220,24 +242,38 @@ func (c *Coalescer) flush(batch []*Ticket) {
 	} else {
 		c.coalesced.Add(uint64(len(batch)))
 	}
-	if err == nil && c.profileEvery > 0 && flushIdx%c.profileEvery == 1 {
+	// 1%c.profileEvery (not a literal 1) so profileEvery=1 samples every
+	// flush: flushIdx%1 is always 0, never 1.
+	if err == nil && c.profileEvery > 0 && flushIdx%c.profileEvery == 1%c.profileEvery {
 		c.profile(mega)
 	}
 
+	now := time.Now()
 	lo = 0
 	for _, t := range batch {
 		hi := lo + len(t.Spots)
-		if err != nil {
+		switch {
+		case err != nil:
 			t.Err = err
-		} else {
-			t.Calls = mega.Calls[lo:hi]
-			t.Puts = mega.Puts[lo:hi]
+		case !t.Deadline.IsZero() && now.After(t.Deadline):
+			// The flush beat the *latest* deadline in the batch, but this
+			// ticket's own deadline has passed: its caller asked not to
+			// receive an answer after it.
+			t.Err = context.DeadlineExceeded
+		default:
+			t.Calls = sizedFloats(t.Calls, hi-lo)
+			t.Puts = sizedFloats(t.Puts, hi-lo)
+			copy(t.Calls, mega.Calls[lo:hi])
+			copy(t.Puts, mega.Puts[lo:hi])
 			t.BatchN = n
 			t.Coalesced = len(batch) > 1
 		}
 		lo = hi
-		close(t.done)
+		// finlint:ignore hotalloc struct{}{} is zero-size; a send of it never heap-allocates
+		t.done <- struct{}{}
 	}
+	PutBatch(mega)
+	putTicketSlice(batch)
 }
 
 // profile re-prices the flushed batch with counters on (bit-identical

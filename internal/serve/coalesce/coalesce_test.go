@@ -137,6 +137,177 @@ func TestCoalescerCloseFailsPending(t *testing.T) {
 	}
 }
 
+// TestThresholdFlushDisarmsWindowTimer: a threshold flush must stop the
+// window timer it supersedes, or the next batch inherits a stale,
+// near-expired timer and flushes with an arbitrarily short window.
+func TestThresholdFlushDisarmsWindowTimer(t *testing.T) {
+	const window = 240 * time.Millisecond
+	c := New(testMkt, window, 4, 0)
+	defer c.Close()
+
+	// Ticket A arms the window timer; ticket B crosses the threshold and
+	// flushes both inline. The timer must be disarmed by that flush.
+	errA := make(chan error, 1)
+	a := mkTicket(rand.New(rand.NewSource(11)), 1)
+	go func() { errA <- c.Price(a) }()
+	for {
+		c.mu.Lock()
+		armed := c.timerArmed
+		c.mu.Unlock()
+		if armed {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.Price(mkTicket(rand.New(rand.NewSource(12)), 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errA; err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit ticket C deep into what remains of the stale window. With the
+	// timer properly disarmed it gets a full window of its own; with the
+	// stale timer it would flush when the leftover window expires.
+	time.Sleep(window / 2)
+	start := time.Now()
+	if err := c.Price(mkTicket(rand.New(rand.NewSource(13)), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < 3*window/4 {
+		t.Errorf("post-threshold ticket flushed after %v; want a full window (~%v) — stale timer not disarmed", got, window)
+	}
+}
+
+// TestProfileEveryOneSamplesEveryFlush pins the profileEvery=1 fix:
+// flushIdx%1 is always 0, so the old `== 1` comparison never sampled.
+func TestProfileEveryOneSamplesEveryFlush(t *testing.T) {
+	c := New(testMkt, time.Hour, 1, 1) // every ticket threshold-flushes alone
+	defer c.Close()
+	var prev uint64
+	for i := 0; i < 3; i++ {
+		if err := c.Price(mkTicket(rand.New(rand.NewSource(int64(i)+21)), 8)); err != nil {
+			t.Fatal(err)
+		}
+		mix := c.OpMix()
+		if mix.Items <= prev {
+			t.Fatalf("flush %d: op mix items = %d (previous %d); profileEvery=1 must sample every flush", i+1, mix.Items, prev)
+		}
+		prev = mix.Items
+	}
+}
+
+// TestPerTicketDeadlineCheckedAtDistribution: a ticket whose own deadline
+// expired while riding a flush bounded by a later deadline must fail with
+// DeadlineExceeded, not receive a 200-grade result after its deadline.
+func TestPerTicketDeadlineCheckedAtDistribution(t *testing.T) {
+	c := New(testMkt, 60*time.Millisecond, 1<<20, 0)
+	defer c.Close()
+
+	short := mkTicket(rand.New(rand.NewSource(31)), 4)
+	short.Deadline = time.Now().Add(5 * time.Millisecond)
+	long := mkTicket(rand.New(rand.NewSource(32)), 4)
+	long.Deadline = time.Now().Add(10 * time.Second)
+
+	var wg sync.WaitGroup
+	var errShort, errLong error
+	wg.Add(2)
+	go func() { defer wg.Done(); errShort = c.Price(short) }()
+	go func() { defer wg.Done(); errLong = c.Price(long) }()
+	wg.Wait()
+
+	if !errors.Is(errShort, context.DeadlineExceeded) {
+		t.Errorf("short-deadline ticket: err = %v, want DeadlineExceeded", errShort)
+	}
+	if errLong != nil {
+		t.Fatalf("long-deadline ticket: %v", errLong)
+	}
+	wantCalls, wantPuts := priceDirect(t, long)
+	for j := range wantCalls {
+		if long.Calls[j] != wantCalls[j] || long.Puts[j] != wantPuts[j] {
+			t.Fatalf("long ticket option %d: (%v,%v) != direct (%v,%v)",
+				j, long.Calls[j], long.Puts[j], wantCalls[j], wantPuts[j])
+		}
+	}
+}
+
+// TestCloseStopsTimer pins that Close really stops the window timer its
+// doc comment claims it stops.
+func TestCloseStopsTimer(t *testing.T) {
+	c := New(testMkt, time.Hour, 1<<20, 0)
+	tk := mkTicket(rand.New(rand.NewSource(41)), 2)
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Price(tk) }()
+	for {
+		c.mu.Lock()
+		armed := c.timerArmed
+		c.mu.Unlock()
+		if armed {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("pending ticket after Close: err = %v, want canceled", err)
+	}
+	if c.timer.Stop() {
+		t.Error("window timer still armed after Close")
+	}
+	c.mu.Lock()
+	armed := c.timerArmed
+	c.mu.Unlock()
+	if armed {
+		t.Error("timerArmed still set after Close")
+	}
+}
+
+// TestBatchTicketPools pins the freelist contract: pooled batches and
+// tickets come back correctly sized, and the recycled distribution copies
+// survive the mega-batch being returned to the pool.
+func TestBatchTicketPools(t *testing.T) {
+	for _, n := range []int{1, 3, 16, 100, 1000} {
+		b := GetBatch(n)
+		if len(b.Spots) != n || len(b.Strikes) != n || len(b.Expiries) != n ||
+			len(b.Calls) != n || len(b.Puts) != n {
+			t.Fatalf("GetBatch(%d): lengths %d/%d/%d/%d/%d", n,
+				len(b.Spots), len(b.Strikes), len(b.Expiries), len(b.Calls), len(b.Puts))
+		}
+		PutBatch(b)
+		tk := GetTicket(n)
+		if len(tk.Spots) != n || len(tk.Calls) != n || len(tk.Puts) != n {
+			t.Fatalf("GetTicket(%d): lengths %d/%d/%d", n, len(tk.Spots), len(tk.Calls), len(tk.Puts))
+		}
+		PutTicket(tk)
+	}
+
+	// A pooled ticket priced through the coalescer keeps its results after
+	// the flush's mega-batch scratch is recycled into later flushes.
+	c := New(testMkt, time.Hour, 1, 0)
+	defer c.Close()
+	rng := rand.New(rand.NewSource(51))
+	first := GetTicket(8)
+	src := mkTicket(rng, 8)
+	copy(first.Spots, src.Spots)
+	copy(first.Strikes, src.Strikes)
+	copy(first.Expiries, src.Expiries)
+	if err := c.Price(first); err != nil {
+		t.Fatal(err)
+	}
+	wantCalls, wantPuts := priceDirect(t, first)
+	for i := 0; i < 4; i++ { // churn the batch pool with other flushes
+		if err := c.Price(mkTicket(rng, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := range wantCalls {
+		if first.Calls[j] != wantCalls[j] || first.Puts[j] != wantPuts[j] {
+			t.Fatalf("option %d: pooled ticket results corrupted by batch recycling", j)
+		}
+	}
+	PutTicket(first)
+}
+
 // TestCoalescerStress hammers Price/Flush/Snapshot/OpMix concurrently; its
 // real assertions come from the race detector (this package is in the
 // check.sh race list) plus per-ticket bit-verification.

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// deadlineCtx is a pooled replacement for context.WithTimeout on the
+// request hot path. context.WithTimeout allocates a timerCtx, a timer,
+// and a stop closure per call; this recycles one object with one timer
+// that lives as long as the pool entry.
+//
+// The Done channel is a real channel — the pricing kernels fast-path
+// `ctx.Done() == nil` as "cancellation disabled", so a lazily-nil Done
+// would silently turn deadlines off. The channel is only closed when the
+// deadline actually fires (or the parent cancels); release abandons the
+// object in that case, because a closed channel cannot signal again.
+type deadlineCtx struct {
+	parent     context.Context
+	deadline   time.Time
+	done       chan struct{}
+	timer      *time.Timer
+	stopParent func() bool // non-nil while parent propagation is registered
+	fired      atomic.Bool
+}
+
+var dctxPool = sync.Pool{
+	New: func() any { return &deadlineCtx{done: make(chan struct{})} },
+}
+
+// acquireDeadline returns a context that is done at deadline or when
+// parent is cancelled, whichever is first. Release it with release();
+// after release the context must not be used.
+func acquireDeadline(parent context.Context, deadline time.Time) *deadlineCtx {
+	d := dctxPool.Get().(*deadlineCtx)
+	d.parent = parent
+	d.deadline = deadline
+	if d.timer == nil {
+		d.timer = time.AfterFunc(time.Until(deadline), d.fire)
+	} else {
+		d.timer.Reset(time.Until(deadline))
+	}
+	if pd := parent.Done(); pd != nil {
+		select {
+		case <-pd:
+			// Already cancelled: fire synchronously so the first Err()
+			// check observes it (AfterFunc would race via its goroutine).
+			d.fire()
+		default:
+			d.stopParent = context.AfterFunc(parent, d.fire)
+		}
+	}
+	return d
+}
+
+func (d *deadlineCtx) fire() {
+	if d.fired.CompareAndSwap(false, true) {
+		close(d.done)
+	}
+}
+
+// release returns the context to the pool. If the deadline fired (the
+// done channel is closed, or a fire may be in flight), the object is
+// abandoned instead — correctness over reuse.
+func (d *deadlineCtx) release() {
+	reusable := d.timer.Stop()
+	if d.stopParent != nil {
+		if !d.stopParent() {
+			reusable = false
+		}
+		d.stopParent = nil
+	}
+	d.parent = nil
+	if !reusable || d.fired.Load() {
+		return
+	}
+	dctxPool.Put(d)
+}
+
+// expired reports whether the deadline has passed or the parent was
+// cancelled. Unlike Err it also consults the wall clock, so a handler
+// polling between work items observes an expired deadline even before
+// the timer goroutine has been scheduled (e.g. a busy single-P runtime).
+func (d *deadlineCtx) expired() bool {
+	return d.Err() != nil || !time.Now().Before(d.deadline)
+}
+
+func (d *deadlineCtx) Deadline() (time.Time, bool) { return d.deadline, true }
+
+func (d *deadlineCtx) Done() <-chan struct{} { return d.done }
+
+func (d *deadlineCtx) Err() error {
+	select {
+	case <-d.done:
+		if p := d.parent; p != nil {
+			if err := p.Err(); err != nil {
+				return err
+			}
+		}
+		return context.DeadlineExceeded
+	default:
+		return nil
+	}
+}
+
+func (d *deadlineCtx) Value(key any) any {
+	if p := d.parent; p != nil {
+		return p.Value(key)
+	}
+	return nil
+}

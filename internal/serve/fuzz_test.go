@@ -9,30 +9,37 @@ import (
 // produce an error or a request satisfying every invariant the handlers
 // rely on (bounded option count, finite positive parameters, known
 // method/type/style combinations, non-negative deadline and config).
+// Differential fast-path-vs-reference equality is pinned by the wire
+// package's own FuzzDecodeRequest; this one guards the handler contract.
 func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(`{"options":[{"type":"call","spot":100,"strike":105,"expiry":0.5}]}`))
 	f.Add([]byte(`{"method":"monte-carlo","options":[{"spot":90,"strike":100,"expiry":1}],"config":{"mc_paths":16384,"seed":7},"deadline_ms":250}`))
 	f.Add([]byte(`{"method":"binomial-tree","options":[{"type":"put","style":"american","spot":100,"strike":110,"expiry":1}],"config":{"binomial_steps":512}}`))
 	f.Add([]byte(`{"options":[{"spot":1e308,"strike":1e-308,"expiry":3}]}`))
+	f.Add([]byte(`{"columnar":{"spot":[100,90],"strike":[105,95],"expiry":[0.5,1],"type":"cp"}}`))
 	f.Add([]byte(`{"options":[]}`))
 	f.Add([]byte(`{"options":[{"spot":-1,"strike":0,"expiry":0}]}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"method":"quantum","options":[{"spot":1,"strike":1,"expiry":1}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		req, err := DecodeRequest(data)
+		req, method, err := DecodeRequest(data)
 		if err != nil {
 			if req != nil {
 				t.Fatal("error with non-nil request")
 			}
 			return
 		}
-		if n := len(req.Options); n == 0 || n > MaxRequestOptions {
+		defer PutRequest(req)
+		if n := req.NumOptions(); n == 0 || n > MaxRequestOptions {
 			t.Fatalf("accepted request with %d options", n)
 		}
-		method, merr := ParseMethod(req.Method)
+		parsed, merr := ParseMethod(req.Method)
 		if merr != nil {
 			t.Fatalf("accepted unknown method %q", req.Method)
+		}
+		if parsed != method {
+			t.Fatalf("returned method %v but name parses to %v", method, parsed)
 		}
 		if req.DeadlineMS < 0 {
 			t.Fatalf("accepted negative deadline %d", req.DeadlineMS)
@@ -40,6 +47,35 @@ func FuzzDecodeRequest(f *testing.F) {
 		if req.Config.BinomialSteps < 0 || req.Config.GridPoints < 0 ||
 			req.Config.TimeSteps < 0 || req.Config.MCPaths < 0 {
 			t.Fatalf("accepted negative config %+v", req.Config)
+		}
+		if c := req.Columnar; c != nil {
+			if len(req.Options) != 0 {
+				t.Fatal("accepted both framings at once")
+			}
+			if method != 0 {
+				t.Fatalf("accepted columnar with method %v", method)
+			}
+			n := len(c.Spots)
+			if len(c.Strikes) != n || len(c.Expiries) != n {
+				t.Fatalf("accepted ragged columns: %d/%d/%d", n, len(c.Strikes), len(c.Expiries))
+			}
+			if (c.Types != "" && len(c.Types) != n) || (c.Styles != "" && len(c.Styles) != n) {
+				t.Fatal("accepted ragged type/style columns")
+			}
+			for i := 0; i < n; i++ {
+				for _, v := range [3]float64{c.Spots[i], c.Strikes[i], c.Expiries[i]} {
+					if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+						t.Fatalf("accepted column entry %d with parameter %v", i, v)
+					}
+				}
+				if c.Types != "" && c.Types[i] != 'c' && c.Types[i] != 'p' {
+					t.Fatalf("accepted type byte %q", c.Types[i])
+				}
+				if c.Styles != "" && c.Styles[i] != 'e' {
+					t.Fatalf("accepted style byte %q", c.Styles[i])
+				}
+			}
+			return
 		}
 		for i := range req.Options {
 			o := &req.Options[i]

@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"finbench/internal/serve"
+	"finbench/internal/serve/shard"
+)
+
+// TestColumnarRunAgainstServer drives the binary columnar framing against
+// a lone replica with -verify: every columnar 200 is recomputed from the
+// library and replayed over JSON, and the two framings must bit-match.
+func TestColumnarRunAgainstServer(t *testing.T) {
+	s := serve.New(serve.Config{ProfileEvery: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	rep, err := Run(Options{
+		BaseURL:           ts.URL,
+		Concurrency:       2,
+		Requests:          24,
+		OptionsPerRequest: 5,
+		Wire:              "columnar",
+		Verify:            true,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(200) != 24 {
+		t.Fatalf("report: %s", rep)
+	}
+	if rep.Columnar != 24 {
+		t.Fatalf("columnar 200s = %d, want 24: %s", rep.Columnar, rep)
+	}
+	if rep.Mismatch > 0 {
+		t.Fatalf("%d bit mismatches across framings: %s", rep.Mismatch, rep)
+	}
+	// 5 options * 24 requests, each judged twice (library + cross-frame).
+	if rep.Verified != 2*5*24 {
+		t.Fatalf("verified = %d, want %d: %s", rep.Verified, 2*5*24, rep)
+	}
+}
+
+// TestColumnarRunAgainstRouter is the same guarantee through a shard
+// router: routing must not disturb the columnar framing or the numbers.
+func TestColumnarRunAgainstRouter(t *testing.T) {
+	var urls []string
+	for i := 0; i < 2; i++ {
+		s := serve.New(serve.Config{ProfileEvery: -1})
+		hs := httptest.NewServer(s.Handler())
+		defer hs.Close()
+		defer s.Close()
+		urls = append(urls, hs.URL)
+	}
+	router, err := shard.New(shard.Config{Backends: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Start()
+	defer router.Close()
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	rep, err := Run(Options{
+		BaseURL:           front.URL,
+		Concurrency:       2,
+		Requests:          16,
+		OptionsPerRequest: 4,
+		Wire:              "columnar",
+		Verify:            true,
+		Seed:              13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(200) != 16 {
+		t.Fatalf("report: %s", rep)
+	}
+	if rep.Columnar != 16 {
+		t.Fatalf("columnar 200s = %d, want 16: %s", rep.Columnar, rep)
+	}
+	if rep.Mismatch > 0 {
+		t.Fatalf("%d bit mismatches across framings through the router: %s", rep.Mismatch, rep)
+	}
+	if rep.Verified == 0 {
+		t.Fatalf("nothing verified: %s", rep)
+	}
+}
+
+func TestWireFormatValidation(t *testing.T) {
+	if _, err := Run(Options{BaseURL: "http://127.0.0.1:1", Wire: "protobuf", Requests: 1}); err == nil {
+		t.Fatal("unknown wire format accepted")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"finbench/internal/serve"
 	"finbench/internal/serve/pricecache"
 	"finbench/internal/serve/shard"
+	"finbench/internal/serve/wire"
 )
 
 // Options configures a load-generation run.
@@ -64,6 +65,16 @@ type Options struct {
 	// Greeks requests are unaffected.
 	ZipfPool int
 	ZipfS    float64
+
+	// Wire selects the /price request framing for closed-form batches:
+	// "json" (or empty) sends the AOS JSON body, "columnar" sends the
+	// binary columnar frame. Columnar is closed-form-only, so other mix
+	// methods (and greeks) always stay on JSON. With Verify set, every
+	// columnar 200 is additionally replayed as a JSON request and the two
+	// responses must be bit-identical — the cross-framing guarantee,
+	// checked through whatever stack BaseURL points at (replica or
+	// router).
+	Wire string
 }
 
 // Report is the outcome of a run.
@@ -75,6 +86,8 @@ type Report struct {
 	Mismatch  int            `json:"mismatch"`
 	Coalesced int            `json:"coalesced"`
 	Degraded  int            `json:"degraded"`
+	// Columnar counts 200s answered over the binary columnar framing.
+	Columnar int `json:"columnar,omitempty"`
 	// Retries and HedgeWins are read from the router's X-Finserve-*
 	// response headers (zero against a bare replica): retries is the sum
 	// of attempts beyond the first across all answered requests.
@@ -139,6 +152,9 @@ func (r *Report) String() string {
 	}
 	if r.Degraded > 0 {
 		fmt.Fprintf(&b, " degraded=%d", r.Degraded)
+	}
+	if r.Columnar > 0 {
+		fmt.Fprintf(&b, " columnar=%d", r.Columnar)
 	}
 	if r.Retries > 0 || r.HedgeWins > 0 {
 		fmt.Fprintf(&b, " retries=%d hedge_wins=%d", r.Retries, r.HedgeWins)
@@ -250,6 +266,11 @@ func zipfRank(rng *rand.Rand, cdf []float64) int {
 // Run executes the load and returns the aggregate report.
 func Run(o Options) (*Report, error) {
 	o = o.withDefaults()
+	switch o.Wire {
+	case "", "json", "columnar":
+	default:
+		return nil, fmt.Errorf("unknown wire format %q (want json or columnar)", o.Wire)
+	}
 	table := mixTable(o.Mix)
 	client := &http.Client{Timeout: o.Timeout}
 
@@ -303,6 +324,7 @@ func Run(o Options) (*Report, error) {
 					rep.Mismatch += outcome.mismatch
 					rep.Coalesced += outcome.coalesced
 					rep.Degraded += outcome.degraded
+					rep.Columnar += outcome.columnar
 					rep.Retries += outcome.retries
 					rep.HedgeWins += outcome.hedgeWon
 					rep.CacheHits += outcome.cacheHit
@@ -337,6 +359,7 @@ func percentile(values []float64, q float64) float64 {
 
 type reqOutcome struct {
 	verified, mismatch, coalesced, degraded int
+	columnar                                int
 	retries, hedgeWon                       int
 	cacheHit, cacheMiss, cacheCollapsed     int
 	cacheBypass                             int
@@ -399,6 +422,10 @@ func (o Options) doRequest(client *http.Client, rng *rand.Rand, method string, b
 	if batch == nil {
 		batch = randomOptions(rng, o.OptionsPerRequest, method)
 	}
+	if o.Wire == "columnar" && method == "closed-form" {
+		// Columnar is closed-form-only; the rest of the mix stays JSON.
+		return o.doColumnar(client, batch, mkt)
+	}
 	req := serve.PriceRequest{
 		Method:     method,
 		Options:    batch,
@@ -439,6 +466,99 @@ func (o Options) doRequest(client *http.Client, rng *rand.Rand, method string, b
 	if o.Verify {
 		v, m := verifyResponse(&req, &pr, mkt)
 		out.verified, out.mismatch = v, m
+	}
+	return resp.StatusCode, out, nil
+}
+
+// doColumnar sends the batch as a binary columnar frame. With Verify set
+// it recomputes every price from the library AND replays the same
+// contracts as a JSON AOS request, requiring the two 200s bit-identical:
+// the framing must be invisible in the numbers.
+func (o Options) doColumnar(client *http.Client, batch []serve.WireOption, mkt finbench.Market) (int, reqOutcome, error) {
+	var out reqOutcome
+	cols := wire.Columns{
+		Spots:    make([]float64, len(batch)),
+		Strikes:  make([]float64, len(batch)),
+		Expiries: make([]float64, len(batch)),
+	}
+	types := make([]byte, len(batch))
+	for i := range batch {
+		cols.Spots[i] = batch[i].Spot
+		cols.Strikes[i] = batch[i].Strike
+		cols.Expiries[i] = batch[i].Expiry
+		types[i] = 'c'
+		if batch[i].Type == "put" {
+			types[i] = 'p'
+		}
+	}
+	cols.Types = string(types)
+	frame := wire.AppendColumnarRequest(nil, &wire.PriceRequest{Columnar: &cols, DeadlineMS: o.DeadlineMS})
+	resp, err := client.Post(o.BaseURL+"/price", wire.ColumnarContentType, bytes.NewReader(frame))
+	if err != nil {
+		return 0, out, err
+	}
+	defer resp.Body.Close()
+	out.noteRouteHeaders(resp)
+	out.noteCacheHeader(resp)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return 0, out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, out, nil
+	}
+	pr, err := wire.DecodeColumnarResponse(buf.Bytes())
+	if err != nil {
+		return resp.StatusCode, out, fmt.Errorf("decoding columnar 200 body: %w", err)
+	}
+	out.columnar = 1
+	if pr.Coalesced {
+		out.coalesced = 1
+	}
+	if pr.Degraded {
+		out.degraded = 1
+	}
+	if !o.Verify {
+		return resp.StatusCode, out, nil
+	}
+	jreq := serve.PriceRequest{Options: batch, DeadlineMS: o.DeadlineMS}
+	v, m := verifyResponse(&jreq, pr, mkt)
+	out.verified, out.mismatch = v, m
+
+	// Cross-framing replay: same contracts over JSON.
+	body, err := json.Marshal(&jreq)
+	if err != nil {
+		return resp.StatusCode, out, err
+	}
+	jresp, err := client.Post(o.BaseURL+"/price", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return resp.StatusCode, out, err
+	}
+	defer jresp.Body.Close()
+	if jresp.StatusCode != http.StatusOK {
+		// Shed/overload on the replay is not a framing mismatch.
+		return resp.StatusCode, out, nil
+	}
+	var jr serve.PriceResponse
+	if err := json.NewDecoder(jresp.Body).Decode(&jr); err != nil {
+		return resp.StatusCode, out, fmt.Errorf("decoding cross-check body: %w", err)
+	}
+	if jr.Degraded != pr.Degraded || jr.Method != pr.Method {
+		// A degrade flip between the two requests makes the comparison
+		// meaningless; the library check above already judged each 200.
+		return resp.StatusCode, out, nil
+	}
+	if len(jr.Results) != len(pr.Results) {
+		out.mismatch += len(pr.Results)
+		return resp.StatusCode, out, nil
+	}
+	for i := range pr.Results {
+		// finlint:ignore floateq bit-reproducibility is the protocol guarantee under test
+		if jr.Results[i].Price == pr.Results[i].Price {
+			out.verified++
+		} else {
+			out.mismatch++
+		}
 	}
 	return resp.StatusCode, out, nil
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation changes allocation behavior (pools
+// are bypassed under -race), so allocation-count assertions are
+// meaningless there.
+const raceEnabled = true

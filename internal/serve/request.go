@@ -1,111 +1,56 @@
 package serve
 
 import (
-	"encoding/json"
-	"fmt"
-	"math"
-
 	"finbench"
+	"finbench/internal/serve/wire"
 )
 
-// Wire types of the pricing API. Every numeric knob echoes back in the
-// response as the *effective* value (after defaulting, clamping, and any
-// degrade-mode substitution), so a client can reproduce each price
-// bit-for-bit with the library: closed-form batches via
-// finbench.PriceBatch(LevelAdvanced) — which is composition-independent,
-// so a 1-option batch matches any coalesced mega-batch — and every other
-// method via finbench.Price with the echoed config.
+// The wire types of the pricing API live in internal/serve/wire (shared
+// with the shard router and the loadgen client); the serve names are
+// aliases so existing callers and tests keep reading naturally. Every
+// numeric knob echoes back in the response as the *effective* value
+// (after defaulting, clamping, and any degrade-mode substitution), so a
+// client can reproduce each price bit-for-bit with the library.
+
+type (
+	// WireOption is one option contract on the wire.
+	WireOption = wire.Option
+	// WireConfig mirrors finbench.Config; zero fields mean "default".
+	WireConfig = wire.Config
+	// WireResult is one priced option.
+	WireResult = wire.Result
+	// WireGreeks is one option's sensitivities.
+	WireGreeks = wire.Greeks
+	// PriceRequest is the POST /price body.
+	PriceRequest = wire.PriceRequest
+	// PriceResponse is the POST /price 200 body.
+	PriceResponse = wire.PriceResponse
+	// GreeksRequest is the POST /greeks body.
+	GreeksRequest = wire.GreeksRequest
+	// GreeksResponse is the POST /greeks 200 body.
+	GreeksResponse = wire.GreeksResponse
+	// ErrorResponse is the body of every non-200 status.
+	ErrorResponse = wire.ErrorResponse
+)
 
 // MaxRequestOptions bounds the option count of a single request before any
-// server-configured limit applies; it keeps decode memory proportional to
-// the request body and gives the fuzzer a hard ceiling.
-const MaxRequestOptions = 1 << 20
+// server-configured limit applies.
+const MaxRequestOptions = wire.MaxRequestOptions
 
-// WireOption is one option contract on the wire.
-type WireOption struct {
-	// Type is "call" (default) or "put".
-	Type string `json:"type,omitempty"`
-	// Style is "european" (default) or "american".
-	Style  string  `json:"style,omitempty"`
-	Spot   float64 `json:"spot"`
-	Strike float64 `json:"strike"`
-	Expiry float64 `json:"expiry"`
+// ParseMethod maps a wire method name to a finbench.Method. An empty name
+// selects the closed form.
+func ParseMethod(name string) (finbench.Method, error) { return wire.ParseMethod(name) }
+
+// DecodeRequest parses and validates a /price body and resolves its
+// method in the same pass (the response echoes the method, so the old
+// decode-then-reparse dance dropped the second parse's error on the
+// floor). The returned request is pooled — release it with PutRequest.
+func DecodeRequest(data []byte) (*PriceRequest, finbench.Method, error) {
+	return wire.DecodeRequest(data)
 }
 
-// WireConfig mirrors finbench.Config; zero fields mean "default".
-type WireConfig struct {
-	BinomialSteps int    `json:"binomial_steps,omitempty"`
-	GridPoints    int    `json:"grid_points,omitempty"`
-	TimeSteps     int    `json:"time_steps,omitempty"`
-	MCPaths       int    `json:"mc_paths,omitempty"`
-	Seed          uint64 `json:"seed,omitempty"`
-}
-
-// PriceRequest is the POST /price body.
-type PriceRequest struct {
-	// Method selects the pricing algorithm by its finbench name:
-	// closed-form, binomial-tree, crank-nicolson, monte-carlo,
-	// trinomial-tree. Empty means closed-form.
-	Method  string       `json:"method,omitempty"`
-	Options []WireOption `json:"options"`
-	Config  WireConfig   `json:"config,omitempty"`
-	// DeadlineMS is the client's pricing deadline in milliseconds; work
-	// still running when it expires is cancelled and the request fails
-	// with 408. Zero means the server's maximum applies.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-}
-
-// WireResult is one priced option.
-type WireResult struct {
-	Price  float64 `json:"price"`
-	StdErr float64 `json:"std_err,omitempty"`
-}
-
-// PriceResponse is the POST /price 200 body.
-type PriceResponse struct {
-	Results []WireResult `json:"results"`
-	// Method and Config are the effective method/parameters (degrade mode
-	// may substitute cheaper ones); recomputing with them reproduces
-	// Results bit-for-bit.
-	Method string     `json:"method"`
-	Config WireConfig `json:"config"`
-	// Engine is "batch-advanced" (closed-form SOA batch path) or "scalar"
-	// (per-option kernels).
-	Engine   string `json:"engine"`
-	Degraded bool   `json:"degraded,omitempty"`
-	// Coalesced reports whether the request was merged with concurrent
-	// requests into one mega-batch; BatchOptions is the size of the batch
-	// actually priced (>= len(Results) when coalesced).
-	Coalesced    bool  `json:"coalesced,omitempty"`
-	BatchOptions int   `json:"batch_options,omitempty"`
-	ElapsedUS    int64 `json:"elapsed_us"`
-}
-
-// GreeksRequest is the POST /greeks body (European closed-form greeks).
-type GreeksRequest struct {
-	Options    []WireOption `json:"options"`
-	DeadlineMS int64        `json:"deadline_ms,omitempty"`
-}
-
-// WireGreeks is one option's sensitivities.
-type WireGreeks struct {
-	Delta float64 `json:"delta"`
-	Gamma float64 `json:"gamma"`
-	Vega  float64 `json:"vega"`
-	Theta float64 `json:"theta"`
-	Rho   float64 `json:"rho"`
-}
-
-// GreeksResponse is the POST /greeks 200 body.
-type GreeksResponse struct {
-	Results   []WireGreeks `json:"results"`
-	ElapsedUS int64        `json:"elapsed_us"`
-}
-
-// ErrorResponse is the body of every non-200 status.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
+// PutRequest returns a request from DecodeRequest to its freelist.
+func PutRequest(r *PriceRequest) { wire.PutRequest(r) }
 
 // HealthResponse is the GET /healthz body: liveness plus the load signals
 // the shard router scores replicas by. Status is "ok" or "draining";
@@ -117,119 +62,4 @@ type HealthResponse struct {
 	MaxUnits      int64   `json:"max_units"`
 	QueueDepth    int64   `json:"queue_depth"`
 	UptimeS       float64 `json:"uptime_s"`
-}
-
-// ParseMethod maps a wire method name to a finbench.Method. An empty name
-// selects the closed form.
-func ParseMethod(name string) (finbench.Method, error) {
-	switch name {
-	case "", "closed-form":
-		return finbench.ClosedForm, nil
-	case "binomial-tree":
-		return finbench.BinomialTree, nil
-	case "crank-nicolson":
-		return finbench.FiniteDifference, nil
-	case "monte-carlo":
-		return finbench.MonteCarlo, nil
-	case "trinomial-tree":
-		return finbench.TrinomialTree, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q", name)
-	}
-}
-
-// DecodeRequest parses and validates a /price body. It is the fuzz entry
-// point: any input must either return an error or a request whose options
-// are all finite, positive, and within MaxRequestOptions.
-func DecodeRequest(data []byte) (*PriceRequest, error) {
-	var req PriceRequest
-	if err := json.Unmarshal(data, &req); err != nil {
-		return nil, err
-	}
-	if len(req.Options) == 0 {
-		return nil, fmt.Errorf("request has no options")
-	}
-	if len(req.Options) > MaxRequestOptions {
-		return nil, fmt.Errorf("request has %d options; max %d", len(req.Options), MaxRequestOptions)
-	}
-	method, err := ParseMethod(req.Method)
-	if err != nil {
-		return nil, err
-	}
-	if req.DeadlineMS < 0 {
-		return nil, fmt.Errorf("negative deadline_ms %d", req.DeadlineMS)
-	}
-	if req.Config.BinomialSteps < 0 || req.Config.GridPoints < 0 ||
-		req.Config.TimeSteps < 0 || req.Config.MCPaths < 0 {
-		return nil, fmt.Errorf("negative config parameter")
-	}
-	for i := range req.Options {
-		o := &req.Options[i]
-		if err := validateWireOption(o); err != nil {
-			return nil, fmt.Errorf("option %d: %w", i, err)
-		}
-		if o.Style == "american" && (method == finbench.ClosedForm || method == finbench.MonteCarlo) {
-			return nil, fmt.Errorf("option %d: method %v is European-only", i, method)
-		}
-	}
-	return &req, nil
-}
-
-func validateWireOption(o *WireOption) error {
-	switch o.Type {
-	case "", "call", "put":
-	default:
-		return fmt.Errorf("unknown option type %q", o.Type)
-	}
-	switch o.Style {
-	case "", "european", "american":
-	default:
-		return fmt.Errorf("unknown exercise style %q", o.Style)
-	}
-	for _, v := range [3]float64{o.Spot, o.Strike, o.Expiry} {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("non-finite parameter")
-		}
-	}
-	if o.Spot <= 0 || o.Strike <= 0 || o.Expiry <= 0 {
-		return fmt.Errorf("spot, strike and expiry must be positive")
-	}
-	return nil
-}
-
-// ToOption converts a validated wire option.
-func (o *WireOption) ToOption() finbench.Option {
-	var out finbench.Option
-	out.Spot = o.Spot
-	out.Strike = o.Strike
-	out.Expiry = o.Expiry
-	if o.Type == "put" {
-		out.Type = finbench.Put
-	}
-	if o.Style == "american" {
-		out.Style = finbench.American
-	}
-	return out
-}
-
-// ToConfig converts the wire config (zeros mean defaults, resolved by the
-// library).
-func (c WireConfig) ToConfig() finbench.Config {
-	return finbench.Config{
-		BinomialSteps: c.BinomialSteps,
-		GridPoints:    c.GridPoints,
-		TimeSteps:     c.TimeSteps,
-		MCPaths:       c.MCPaths,
-		Seed:          c.Seed,
-	}
-}
-
-func wireFromConfig(c finbench.Config) WireConfig {
-	return WireConfig{
-		BinomialSteps: c.BinomialSteps,
-		GridPoints:    c.GridPoints,
-		TimeSteps:     c.TimeSteps,
-		MCPaths:       c.MCPaths,
-		Seed:          c.Seed,
-	}
 }

@@ -13,7 +13,6 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -26,6 +25,7 @@ import (
 	"finbench"
 	"finbench/internal/serve/coalesce"
 	"finbench/internal/serve/pricecache"
+	"finbench/internal/serve/wire"
 )
 
 // Config tunes the server. Zero values select the defaults.
@@ -204,6 +204,36 @@ func (s *Server) Close() {
 // the largest permitted batch with slack).
 const maxBody = 64 << 20
 
+// readBody reads the request body into a pooled buffer with the same
+// semantics as io.ReadAll(io.LimitReader(r.Body, maxBody)): bytes beyond
+// maxBody are silently dropped (the truncated body then fails decode).
+func readBody(r *http.Request, buf *wire.Buffer) ([]byte, error) {
+	b := buf.B[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		room := cap(b) - len(b)
+		if rem := maxBody - len(b); room > rem {
+			room = rem
+		}
+		if room == 0 {
+			buf.B = b
+			return b, nil
+		}
+		n, err := r.Body.Read(b[len(b) : len(b)+room])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			buf.B = b
+			return b, nil
+		}
+		if err != nil {
+			buf.B = b
+			return b, err
+		}
+	}
+}
+
 func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.stats.priceRequests.Add(1)
@@ -221,22 +251,38 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusTooManyRequests, "request rate limit exceeded")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	buf := wire.GetBuffer()
+	body, err := readBody(r, buf)
 	if err != nil {
+		wire.PutBuffer(buf)
 		s.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
 		return
 	}
-	req, err := DecodeRequest(body)
+	// DecodeRequest resolves the method while parsing (satellite of the
+	// old decode-then-reparse, which discarded the second parse's error).
+	var req *wire.PriceRequest
+	var method finbench.Method
+	binaryFraming := r.Header.Get("Content-Type") == wire.ColumnarContentType
+	if binaryFraming {
+		req, method, err = wire.DecodeColumnarRequest(body)
+	} else {
+		req, method, err = wire.DecodeRequest(body)
+	}
+	wire.PutBuffer(buf)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if len(req.Options) > s.cfg.MaxOptions {
+	if req.Columnar != nil {
+		s.stats.columnarRequests.Add(1)
+	}
+	n := req.NumOptions()
+	if n > s.cfg.MaxOptions {
+		wire.PutRequest(req)
 		s.writeError(w, http.StatusBadRequest,
-			"too many options: "+strconv.Itoa(len(req.Options))+" > "+strconv.Itoa(s.cfg.MaxOptions))
+			"too many options: "+strconv.Itoa(n)+" > "+strconv.Itoa(s.cfg.MaxOptions))
 		return
 	}
-	method, _ := ParseMethod(req.Method)
 
 	// Resolve the effective numeric parameters: defaults, caps, then the
 	// degrade substitution. The response reports exactly these.
@@ -247,7 +293,8 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 	cfg = cfg.Resolved()
 	degraded := false
 	if s.deg.active() {
-		allEuro := allEuropean(req.Options)
+		// Columnar batches are validated all-European.
+		allEuro := req.Columnar != nil || allEuropean(req.Options)
 		dm, dc := applyDegrade(method, cfg, allEuro)
 		degraded = dm != method || dc != cfg
 		method, cfg = dm, dc
@@ -258,9 +305,10 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 	// (method, market, effective config, batch) — the cache serves hits
 	// and collapses identical concurrent requests before any admission
 	// cost. Everything else (Monte Carlo's decomposition-dependent
-	// results, the lattice methods, degraded substitutions) bypasses.
+	// results, the lattice methods, degraded substitutions, and columnar
+	// framing — whose response bytes are not the cached JSON) bypasses.
 	if s.cache != nil {
-		if method == finbench.ClosedForm && !degraded {
+		if method == finbench.ClosedForm && !degraded && req.Columnar == nil {
 			s.servePriceCached(w, r, start, req, cfg)
 			return
 		}
@@ -268,8 +316,9 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Admission: acquire the request's work units or shed fast.
-	units, ok := s.adm.acquire(unitCost(method, cfg, len(req.Options)), s.cfg.AdmitWait)
+	units, ok := s.adm.acquire(unitCost(method, cfg, n), s.cfg.AdmitWait)
 	if !ok {
+		wire.PutRequest(req)
 		s.deg.noteShed()
 		s.stats.shedAdmission.Add(1)
 		s.writeShed(w, "work budget exhausted")
@@ -285,20 +334,21 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 			deadline = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), deadline)
-	defer cancel()
+	dctx := acquireDeadline(r.Context(), time.Now().Add(deadline))
+	defer dctx.release()
 
-	resp := PriceResponse{
-		Method:   method.String(),
-		Config:   wireFromConfig(cfg),
-		Degraded: degraded,
-	}
+	resp := wire.GetPriceResponse()
+	resp.Method = method.String()
+	resp.Config = wire.FromConfig(cfg)
+	resp.Degraded = degraded
 	if method == finbench.ClosedForm {
-		err = s.priceClosedForm(ctx, req, &resp)
+		err = s.priceClosedForm(dctx, req, resp)
 	} else {
-		err = s.priceHeavy(ctx, req, method, cfg, &resp)
+		err = s.priceHeavy(dctx, req, method, cfg, resp)
 	}
+	wire.PutRequest(req)
 	if err != nil {
+		wire.PutPriceResponse(resp)
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.writeError(w, http.StatusRequestTimeout, "pricing deadline exceeded")
 		} else {
@@ -312,7 +362,12 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	resp.ElapsedUS = elapsed.Microseconds()
 	s.stats.observeLatency(method.String(), elapsed)
-	s.writeJSON(w, http.StatusOK, &resp)
+	if binaryFraming {
+		s.writePriceColumnar(w, resp)
+	} else {
+		s.writePriceOK(w, resp)
+	}
+	wire.PutPriceResponse(resp)
 }
 
 // errShed marks an admission failure inside the cacheable compute path so
@@ -328,6 +383,7 @@ var errShed = errors.New("work budget exhausted")
 // before Do so a waiter parked on a slow leader still honors its own
 // deadline.
 func (s *Server) servePriceCached(w http.ResponseWriter, r *http.Request, start time.Time, req *PriceRequest, cfg finbench.Config) {
+	defer wire.PutRequest(req)
 	deadline := s.cfg.MaxDeadline
 	if req.DeadlineMS > 0 {
 		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < deadline {
@@ -371,18 +427,24 @@ func (s *Server) computeCacheable(ctx context.Context, req *PriceRequest, cfg fi
 	s.deg.noteAdmit()
 	defer s.adm.release(units)
 
-	resp := PriceResponse{
-		Method: finbench.ClosedForm.String(),
-		Config: wireFromConfig(cfg),
-	}
-	if err := s.priceClosedForm(ctx, req, &resp); err != nil {
+	resp := wire.GetPriceResponse()
+	resp.Method = finbench.ClosedForm.String()
+	resp.Config = wire.FromConfig(cfg)
+	if err := s.priceClosedForm(ctx, req, resp); err != nil {
+		wire.PutPriceResponse(resp)
 		return nil, false, err
 	}
-	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(&resp); err != nil {
+	// The stored bytes are owned by the cache, so encode into a fresh
+	// slice, not a pooled buffer. The append encoder's output is
+	// byte-identical to the json.Encoder this replaced.
+	body, ok := wire.AppendPriceResponse(nil, resp)
+	if !ok {
+		err := json.NewEncoder(io.Discard).Encode(resp)
+		wire.PutPriceResponse(resp)
 		return nil, false, err
 	}
-	return buf.Bytes(), true, nil
+	wire.PutPriceResponse(resp)
+	return body, true, nil
 }
 
 // cacheKey digests the request against the server's market and the
@@ -413,46 +475,73 @@ func (s *Server) cacheKey(req *PriceRequest, cfg finbench.Config) pricecache.Key
 // the engine is LevelAdvanced, so results are bit-identical regardless of
 // batching (composition independence).
 func (s *Server) priceClosedForm(ctx context.Context, req *PriceRequest, resp *PriceResponse) error {
-	n := len(req.Options)
-	t := &coalesce.Ticket{
-		Spots:    make([]float64, n),
-		Strikes:  make([]float64, n),
-		Expiries: make([]float64, n),
+	n := req.NumOptions()
+	resp.Engine = "batch-advanced"
+	if n >= s.cfg.CoalesceMaxBatch {
+		return s.priceClosedFormBypass(ctx, req, resp)
 	}
-	for i := range req.Options {
-		t.Spots[i] = req.Options[i].Spot
-		t.Strikes[i] = req.Options[i].Strike
-		t.Expiries[i] = req.Options[i].Expiry
-	}
+	t := coalesce.GetTicket(n)
+	fillInputs(t.Spots, t.Strikes, t.Expiries, req)
 	if d, ok := ctx.Deadline(); ok {
 		t.Deadline = d
 	}
-	resp.Engine = "batch-advanced"
-	if n >= s.cfg.CoalesceMaxBatch {
-		// Bypass: already a mega-batch on its own.
-		b := &finbench.Batch{
-			Spots: t.Spots, Strikes: t.Strikes, Expiries: t.Expiries,
-			Calls: make([]float64, n), Puts: make([]float64, n),
-		}
-		if err := finbench.PriceBatchCtx(ctx, b, s.cfg.Market, finbench.LevelAdvanced); err != nil {
-			return err
-		}
-		t.Calls, t.Puts = b.Calls, b.Puts
-		t.BatchN = n
-	} else if err := s.co.Price(t); err != nil {
+	if err := s.co.Price(t); err != nil {
+		coalesce.PutTicket(t)
 		return err
 	}
 	resp.Coalesced = t.Coalesced
 	resp.BatchOptions = t.BatchN
-	resp.Results = make([]WireResult, n)
-	for i := range req.Options {
-		if req.Options[i].Type == "put" {
+	resp.SizedResults(n)
+	for i := 0; i < n; i++ {
+		if req.IsPut(i) {
 			resp.Results[i].Price = t.Puts[i]
 		} else {
 			resp.Results[i].Price = t.Calls[i]
 		}
 	}
+	coalesce.PutTicket(t)
 	return nil
+}
+
+// priceClosedFormBypass prices a request that is already a mega-batch on
+// its own, skipping the coalescer. The engine is still LevelAdvanced, so
+// results are bit-identical to the coalesced path (composition
+// independence).
+func (s *Server) priceClosedFormBypass(ctx context.Context, req *PriceRequest, resp *PriceResponse) error {
+	n := req.NumOptions()
+	b := coalesce.GetBatch(n)
+	fillInputs(b.Spots, b.Strikes, b.Expiries, req)
+	if err := finbench.PriceBatchCtx(ctx, b, s.cfg.Market, finbench.LevelAdvanced); err != nil {
+		coalesce.PutBatch(b)
+		return err
+	}
+	resp.BatchOptions = n
+	resp.SizedResults(n)
+	for i := 0; i < n; i++ {
+		if req.IsPut(i) {
+			resp.Results[i].Price = b.Puts[i]
+		} else {
+			resp.Results[i].Price = b.Calls[i]
+		}
+	}
+	coalesce.PutBatch(b)
+	return nil
+}
+
+// fillInputs copies the request's contracts into SOA input columns,
+// whichever framing carries them.
+func fillInputs(spots, strikes, expiries []float64, req *PriceRequest) {
+	if c := req.Columnar; c != nil {
+		copy(spots, c.Spots)
+		copy(strikes, c.Strikes)
+		copy(expiries, c.Expiries)
+		return
+	}
+	for i := range req.Options {
+		spots[i] = req.Options[i].Spot
+		strikes[i] = req.Options[i].Strike
+		expiries[i] = req.Options[i].Expiry
+	}
 }
 
 // priceHeavy prices per option through the cancellable scalar kernels.
@@ -461,7 +550,7 @@ func (s *Server) priceClosedForm(ctx context.Context, req *PriceRequest, resp *P
 // gain nothing from batching across requests.
 func (s *Server) priceHeavy(ctx context.Context, req *PriceRequest, method finbench.Method, cfg finbench.Config, resp *PriceResponse) error {
 	resp.Engine = "scalar"
-	resp.Results = make([]WireResult, len(req.Options))
+	resp.SizedResults(len(req.Options))
 	for i := range req.Options {
 		res, err := finbench.PriceCtx(ctx, req.Options[i].ToOption(), s.cfg.Market, method, &cfg)
 		if err != nil {
@@ -490,22 +579,29 @@ func (s *Server) handleGreeks(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusTooManyRequests, "request rate limit exceeded")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	buf := wire.GetBuffer()
+	body, err := readBody(r, buf)
 	if err != nil {
+		wire.PutBuffer(buf)
 		s.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
 		return
 	}
-	var req GreeksRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	// DecodeGreeksRequest validates options and rejects negative
+	// deadline_ms, matching /price.
+	req, err := wire.DecodeGreeksRequest(body)
+	wire.PutBuffer(buf)
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if len(req.Options) == 0 || len(req.Options) > s.cfg.MaxOptions {
+		wire.PutGreeksRequest(req)
 		s.writeError(w, http.StatusBadRequest, "option count out of range")
 		return
 	}
 	units, ok := s.adm.acquire(int64(len(req.Options)), s.cfg.AdmitWait)
 	if !ok {
+		wire.PutGreeksRequest(req)
 		s.deg.noteShed()
 		s.stats.shedAdmission.Add(1)
 		s.writeShed(w, "work budget exhausted")
@@ -514,16 +610,32 @@ func (s *Server) handleGreeks(w http.ResponseWriter, r *http.Request) {
 	s.deg.noteAdmit()
 	defer s.adm.release(units)
 
-	var resp GreeksResponse
-	resp.Results = make([]WireGreeks, len(req.Options))
+	// The documented deadline_ms, honored: client deadline capped by the
+	// server maximum, checked between options so a huge batch cannot
+	// blow past an expired deadline (or a disconnected client).
+	deadline := s.cfg.MaxDeadline
+	if req.DeadlineMS > 0 {
+		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < deadline {
+			deadline = d
+		}
+	}
+	dctx := acquireDeadline(r.Context(), time.Now().Add(deadline))
+	defer dctx.release()
+
+	resp := wire.GetGreeksResponse()
+	resp.SizedResults(len(req.Options))
 	for i := range req.Options {
-		o := &req.Options[i]
-		if err := validateWireOption(o); err != nil {
-			s.writeError(w, http.StatusBadRequest, "option "+strconv.Itoa(i)+": "+err.Error())
+		if dctx.expired() {
+			wire.PutGreeksRequest(req)
+			wire.PutGreeksResponse(resp)
+			s.writeError(w, http.StatusRequestTimeout, "greeks deadline exceeded")
 			return
 		}
+		o := &req.Options[i]
 		g, err := finbench.ComputeGreeks(o.ToOption(), s.cfg.Market)
 		if err != nil {
+			wire.PutGreeksRequest(req)
+			wire.PutGreeksResponse(resp)
 			s.writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
@@ -539,10 +651,12 @@ func (s *Server) handleGreeks(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i].Gamma = g.Gamma
 		resp.Results[i].Vega = g.Vega
 	}
+	wire.PutGreeksRequest(req)
 	elapsed := time.Since(start)
 	resp.ElapsedUS = elapsed.Microseconds()
 	s.stats.observeLatency("greeks", elapsed)
-	s.writeJSON(w, http.StatusOK, &resp)
+	s.writeGreeksOK(w, resp)
+	wire.PutGreeksResponse(resp)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -586,11 +700,74 @@ func allEuropean(opts []WireOption) bool {
 	return true
 }
 
+// headerJSON and headerColumnar are preassigned Content-Type values: a
+// direct map assignment of a shared slice skips the per-request []string
+// allocation of Header().Set. net/http never mutates header value slices.
+var (
+	headerJSON     = []string{"application/json"}
+	headerColumnar = []string{wire.ColumnarContentType}
+)
+
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	s.stats.countCode(code)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writePriceOK writes a 200 /price body through the append encoder —
+// byte-identical to writeJSON's output, without the reflection walk. The
+// encoding/json fallback (non-finite values only) preserves the legacy
+// failure mode exactly.
+func (s *Server) writePriceOK(w http.ResponseWriter, resp *wire.PriceResponse) {
+	buf := wire.GetBuffer()
+	b, ok := wire.AppendPriceResponse(buf.B[:0], resp)
+	if !ok {
+		wire.PutBuffer(buf)
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	buf.B = b
+	w.Header()["Content-Type"] = headerJSON
+	w.WriteHeader(http.StatusOK)
+	s.stats.countCode(http.StatusOK)
+	_, _ = w.Write(b)
+	wire.PutBuffer(buf)
+}
+
+// writeGreeksOK is writePriceOK for /greeks.
+func (s *Server) writeGreeksOK(w http.ResponseWriter, resp *wire.GreeksResponse) {
+	buf := wire.GetBuffer()
+	b, ok := wire.AppendGreeksResponse(buf.B[:0], resp)
+	if !ok {
+		wire.PutBuffer(buf)
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	buf.B = b
+	w.Header()["Content-Type"] = headerJSON
+	w.WriteHeader(http.StatusOK)
+	s.stats.countCode(http.StatusOK)
+	_, _ = w.Write(b)
+	wire.PutBuffer(buf)
+}
+
+// writePriceColumnar writes the 200 of a binary-framed columnar request
+// as a binary response frame.
+func (s *Server) writePriceColumnar(w http.ResponseWriter, resp *wire.PriceResponse) {
+	buf := wire.GetBuffer()
+	b, err := wire.AppendColumnarResponse(buf.B[:0], resp)
+	if err != nil {
+		wire.PutBuffer(buf)
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	buf.B = b
+	w.Header()["Content-Type"] = headerColumnar
+	w.WriteHeader(http.StatusOK)
+	s.stats.countCode(http.StatusOK)
+	_, _ = w.Write(b)
+	wire.PutBuffer(buf)
 }
 
 // writeRaw writes pre-marshalled response bytes (the cache stores the

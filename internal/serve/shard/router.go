@@ -36,6 +36,7 @@ import (
 	"finbench/internal/resilience"
 	"finbench/internal/serve"
 	"finbench/internal/serve/pricecache"
+	"finbench/internal/serve/wire"
 )
 
 // maxProxyBody bounds request and response bodies the router will carry
@@ -251,27 +252,43 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	// The backend switches framing on Content-Type; anything but the
+	// columnar frame type forwards as JSON (the legacy behavior).
+	ctype := "application/json"
+	if req.Header.Get("Content-Type") == wire.ColumnarContentType {
+		ctype = wire.ColumnarContentType
+	}
+
 	// Sniff the method and deadline. A body that does not decode is
 	// still forwarded (the backend owns validation and answers 400).
-	var sniff struct {
-		Method     string `json:"method"`
-		DeadlineMS int64  `json:"deadline_ms"`
+	// Columnar frames are closed-form by construction and carry their
+	// deadline in the header.
+	var monteCarlo bool
+	var deadlineMS int64
+	if ctype == wire.ColumnarContentType {
+		deadlineMS, _ = wire.SniffColumnarDeadline(body)
+	} else {
+		var sniff struct {
+			Method     string `json:"method"`
+			DeadlineMS int64  `json:"deadline_ms"`
+		}
+		_ = json.Unmarshal(body, &sniff)
+		monteCarlo = sniff.Method == "monte-carlo"
+		deadlineMS = sniff.DeadlineMS
 	}
-	_ = json.Unmarshal(body, &sniff)
-	monteCarlo := sniff.Method == "monte-carlo"
 
 	ctx := req.Context()
-	if sniff.DeadlineMS > 0 {
+	if deadlineMS > 0 {
 		// The deadline travels in the body and the backend enforces it;
 		// mirroring it here bounds retries and backoff waits too. It is
 		// established before any cache wait, so a waiter parked on a
 		// slow singleflight leader still honors its own deadline.
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(sniff.DeadlineMS)*time.Millisecond)
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
 		defer cancel()
 	}
 
-	if r.cache != nil && req.URL.Path == "/price" {
+	if r.cache != nil && req.URL.Path == "/price" && ctype != wire.ColumnarContentType {
 		if key, ok := routerCacheKey(body); ok {
 			r.routeCached(ctx, w, req.Method, body, key)
 			return
@@ -279,7 +296,7 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set(pricecache.Header, "bypass")
 	}
 
-	res, err := r.dispatch(ctx, req.Method, req.URL.Path, body, monteCarlo)
+	res, err := r.dispatch(ctx, req.Method, req.URL.Path, ctype, body, monteCarlo)
 	if err != nil {
 		r.writeRouteError(w, err, res)
 		return
@@ -300,7 +317,7 @@ type routeResult struct {
 // returns the response to forward. On error, result.final carries the
 // last retryable backend response when there was one (so the caller can
 // still pass it through).
-func (r *Router) dispatch(ctx context.Context, method, path string, body []byte, monteCarlo bool) (*routeResult, error) {
+func (r *Router) dispatch(ctx context.Context, method, path, ctype string, body []byte, monteCarlo bool) (*routeResult, error) {
 	// Monte Carlo answers depend on the batch decomposition, so a
 	// second execution is not "the same answer, again" — it gets
 	// exactly one attempt and no hedge.
@@ -331,7 +348,7 @@ func (r *Router) dispatch(ctx context.Context, method, path string, body []byte,
 			if h > 0 {
 				r.hedges.Add(1)
 			}
-			return r.attemptOnce(hctx, method, path, body, out.st)
+			return r.attemptOnce(hctx, method, path, ctype, body, out.st)
 		})
 		if err != nil {
 			var hf *httpFailure
@@ -384,7 +401,7 @@ var errUncacheable = errors.New("response not cacheable")
 func (r *Router) routeCached(ctx context.Context, w http.ResponseWriter, method string, body []byte, key pricecache.Key) {
 	var lead *routeResult
 	respBody, outcome, err := r.cache.Do(ctx, key, func(ctx context.Context) ([]byte, bool, error) {
-		res, err := r.dispatch(ctx, method, "/price", body, false)
+		res, err := r.dispatch(ctx, method, "/price", "application/json", body, false)
 		lead = res
 		if err != nil {
 			return nil, false, err
@@ -423,8 +440,13 @@ func (r *Router) routeCached(ctx context.Context, w http.ResponseWriter, method 
 // identical for identical requests). Only closed-form is cacheable: the
 // same composition-independence rule as the replica tier.
 func routerCacheKey(body []byte) (pricecache.Key, bool) {
-	req, err := serve.DecodeRequest(body)
-	if err != nil || (req.Method != "" && req.Method != "closed-form") {
+	req, _, err := serve.DecodeRequest(body)
+	if err != nil {
+		return pricecache.Key{}, false
+	}
+	defer serve.PutRequest(req)
+	// Columnar bodies bypass: their 200 bytes are not the cached JSON.
+	if (req.Method != "" && req.Method != "closed-form") || req.Columnar != nil {
 		return pricecache.Key{}, false
 	}
 	contracts := make([]pricecache.Contract, len(req.Options))
@@ -490,7 +512,7 @@ func (r *Router) passThrough(w http.ResponseWriter, res *backendResult, st *reqS
 // 200s and 4xx), *httpFailure for retryable statuses, a bare error for
 // transport-level failures. It brackets the breaker: exactly one
 // Success/Failure per admission.
-func (r *Router) attemptOnce(ctx context.Context, method, path string, body []byte, st *reqState) (*backendResult, error) {
+func (r *Router) attemptOnce(ctx context.Context, method, path, ctype string, body []byte, st *reqState) (*backendResult, error) {
 	rep := r.pick(st)
 	if rep == nil {
 		r.noReplica.Add(1)
@@ -510,7 +532,7 @@ func (r *Router) attemptOnce(ctx context.Context, method, path string, body []by
 		rep.breaker.Success() // request construction is not the replica's fault
 		return nil, resilience.Permanent(err)
 	}
-	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Content-Type", ctype)
 
 	resp, err := r.client.Do(hreq)
 	if err != nil {
@@ -533,7 +555,11 @@ func (r *Router) attemptOnce(ctx context.Context, method, path string, body []by
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		if !json.Valid(respBody) {
+		valid := json.Valid(respBody)
+		if res.contentTyp == wire.ColumnarContentType {
+			valid = wire.ValidColumnarResponse(respBody)
+		}
+		if !valid {
 			// A truncating fault can slip a short read past the HTTP
 			// framing; never forward a corrupt 200.
 			r.corrupt.Add(1)

@@ -13,6 +13,7 @@ import (
 
 	"finbench/internal/resilience"
 	"finbench/internal/serve"
+	"finbench/internal/serve/wire"
 )
 
 // newBackends spins up n real pricing servers and returns their URLs
@@ -533,5 +534,62 @@ func TestDecodeHealthValidates(t *testing.T) {
 	}
 	if _, err := DecodeHealth(bytes.Repeat([]byte(" "), maxHealthBody+1)); err == nil {
 		t.Error("oversized body accepted")
+	}
+}
+
+// TestCorruptColumnar200NeverForwarded is TestCorrupt200NeverForwarded
+// for the binary framing: a replica answering a columnar request with a
+// 200 whose frame is invalid must be treated as failed and failed over,
+// so the client only ever sees a well-formed frame.
+func TestCorruptColumnar200NeverForwarded(t *testing.T) {
+	corrupt := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"status":"ok","in_flight_units":0,"max_units":1,"queue_depth":0,"uptime_s":1}`)
+			return
+		}
+		w.Header().Set("Content-Type", wire.ColumnarContentType)
+		fmt.Fprint(w, "FBR1 not a frame") // bad magic + truncated, still a 200
+	}))
+	defer corrupt.Close()
+	urls, _, _ := newBackends(t, 1)
+
+	router := newRouter(t, Config{
+		Backends:       []string{corrupt.URL, urls[0]},
+		HealthInterval: time.Hour,
+		MaxAttempts:    3,
+		Backoff:        resilience.Backoff{Base: time.Millisecond, Max: time.Millisecond},
+	})
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	frame := wire.AppendColumnarRequest(nil, &wire.PriceRequest{Columnar: &wire.Columns{
+		Spots:    []float64{100, 90},
+		Strikes:  []float64{105, 95},
+		Expiries: []float64{0.5, 1},
+	}})
+	for i := 0; i < 6; i++ {
+		resp, err := http.Post(front.URL+"/price", wire.ColumnarContentType, bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := new(bytes.Buffer)
+		if _, err := body.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: %d %s", i, resp.StatusCode, body.Bytes())
+		}
+		pr, err := wire.DecodeColumnarResponse(body.Bytes())
+		if err != nil {
+			t.Fatalf("request %d: router forwarded a corrupt columnar 200: %v", i, err)
+		}
+		if len(pr.Results) != 2 {
+			t.Fatalf("request %d: implausible frame with %d results", i, len(pr.Results))
+		}
+	}
+	if got := router.Snapshot().Corrupt; got == 0 {
+		t.Error("corrupt columnar responses never counted")
 	}
 }

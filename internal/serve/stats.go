@@ -94,6 +94,9 @@ type stats struct {
 
 	priceRequests  atomic.Uint64
 	greeksRequests atomic.Uint64
+	// columnarRequests counts /price requests carrying columnar framing
+	// (binary frame or JSON-framed columns).
+	columnarRequests atomic.Uint64
 
 	code200 atomic.Uint64
 	code400 atomic.Uint64
@@ -187,8 +190,9 @@ func (s *Server) statszSnapshot() StatszResponse {
 	out := StatszResponse{
 		UptimeS: time.Since(st.start).Seconds(),
 		Requests: map[string]uint64{
-			"price":  st.priceRequests.Load(),
-			"greeks": st.greeksRequests.Load(),
+			"price":          st.priceRequests.Load(),
+			"greeks":         st.greeksRequests.Load(),
+			"price_columnar": st.columnarRequests.Load(),
 		},
 		Codes: map[string]uint64{
 			"200": st.code200.Load(),

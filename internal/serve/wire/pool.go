@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Freelists for the per-request wire objects. Get/Put pairs are
+// bracketed by the finlint leakcheck pass (internal/lint/entrypoints.go,
+// pooledGetPut): a handler that gets without putting leaks the pool's
+// whole point.
+
+// Buffer is a pooled byte buffer for request bodies and response
+// encoding. B keeps its capacity across requests.
+type Buffer struct {
+	B []byte
+}
+
+// maxPooledBuf caps the capacity a buffer may keep in the pool; bodies of
+// mega-batch requests beyond it are reallocated per request (their cost
+// amortizes over the batch) instead of pinning tens of megabytes.
+const maxPooledBuf = 1 << 22
+
+var bufferPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 4096)} }}
+
+// GetBuffer returns a pooled, empty buffer. Return it with PutBuffer.
+func GetBuffer() *Buffer { return bufferPool.Get().(*Buffer) }
+
+// PutBuffer recycles a buffer. The caller must not retain views into B.
+func PutBuffer(b *Buffer) {
+	if cap(b.B) > maxPooledBuf {
+		return
+	}
+	b.B = b.B[:0]
+	bufferPool.Put(b)
+}
+
+var (
+	priceReqPool   = sync.Pool{New: func() any { return new(PriceRequest) }}
+	greeksReqPool  = sync.Pool{New: func() any { return new(GreeksRequest) }}
+	priceRespPool  = sync.Pool{New: func() any { return new(PriceResponse) }}
+	greeksRespPool = sync.Pool{New: func() any { return new(GreeksResponse) }}
+)
+
+// PutRequest returns a request obtained from DecodeRequest or
+// DecodeColumnarRequest to the freelist. The request, its options, and
+// its columnar views must not be used after.
+func PutRequest(r *PriceRequest) {
+	if r == nil {
+		return
+	}
+	r.reset()
+	priceReqPool.Put(r)
+}
+
+// PutGreeksRequest returns a request obtained from DecodeGreeksRequest to
+// the freelist.
+func PutGreeksRequest(r *GreeksRequest) {
+	if r == nil {
+		return
+	}
+	r.Options = r.Options[:0]
+	r.DeadlineMS = 0
+	greeksReqPool.Put(r)
+}
+
+// GetPriceResponse returns a zeroed response whose Results slice keeps
+// its pooled capacity; size it with SizedResults. Return it with
+// PutPriceResponse after the encoded bytes have been written.
+func GetPriceResponse() *PriceResponse {
+	return priceRespPool.Get().(*PriceResponse)
+}
+
+// PutPriceResponse recycles a response. Results contents must not be
+// retained.
+func PutPriceResponse(r *PriceResponse) {
+	if r == nil {
+		return
+	}
+	results := r.Results[:0]
+	*r = PriceResponse{Results: results}
+	priceRespPool.Put(r)
+}
+
+// SizedResults resizes r.Results to n zeroed entries, reusing capacity.
+func (r *PriceResponse) SizedResults(n int) {
+	if cap(r.Results) >= n {
+		r.Results = r.Results[:n]
+	} else {
+		r.Results = make([]Result, n, 1<<sizeClass(n))
+	}
+	clear(r.Results)
+}
+
+// GetGreeksResponse returns a zeroed greeks response with pooled Results
+// capacity; size it with SizedResults.
+func GetGreeksResponse() *GreeksResponse {
+	return greeksRespPool.Get().(*GreeksResponse)
+}
+
+// PutGreeksResponse recycles a greeks response.
+func PutGreeksResponse(r *GreeksResponse) {
+	if r == nil {
+		return
+	}
+	results := r.Results[:0]
+	*r = GreeksResponse{Results: results}
+	greeksRespPool.Put(r)
+}
+
+// SizedResults resizes r.Results to n zeroed entries, reusing capacity.
+func (r *GreeksResponse) SizedResults(n int) {
+	if cap(r.Results) >= n {
+		r.Results = r.Results[:n]
+	} else {
+		r.Results = make([]Greeks, n, 1<<sizeClass(n))
+	}
+	clear(r.Results)
+}
+
+// sizeClass is the smallest c with 1<<c >= n (power-of-two capacities
+// keep pooled slices reusable across nearby batch sizes).
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

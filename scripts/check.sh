@@ -79,13 +79,15 @@ else
 		./internal/serve \
 		./internal/serve/coalesce \
 		./internal/serve/pricecache \
+		./internal/serve/wire \
 		./internal/serve/loadgen \
 		./internal/serve/shard
 
 	echo "==> fuzz seed corpora"
 	go test -run='^Fuzz' -count=1 -timeout 10m \
 		./internal/mathx ./internal/rng ./internal/blackscholes \
-		./internal/serve ./internal/serve/pricecache ./internal/serve/shard
+		./internal/serve ./internal/serve/wire \
+		./internal/serve/pricecache ./internal/serve/shard
 
 	echo "==> e2e smoke: finserve boot + loadgen gates"
 	./scripts/e2e_smoke.sh

@@ -19,6 +19,9 @@
 #            still bit-matching the library (-verify with the cache on)
 #   phase 7  router-tier cache: same hit-rate + bit-identity contract
 #            with the cache in the router, fronting spawned replicas
+#   phase 8  columnar framing: binary-frame /price 200s must bit-match a
+#            JSON replay of the same contracts (loadgen cross-checks every
+#            columnar 200), against a lone replica AND through the router
 #
 # Usage: ./scripts/e2e_smoke.sh   (E2E_PORT overrides the default port)
 set -euo pipefail
@@ -160,6 +163,24 @@ done
 	-mix "closed-form=1" -options 8 -zipf 1.1 -zipf-pool 32 -seed 5 \
 	-verify -assert-codes 200 -min-count 200:200 -assert-min-hit-rate 0.5 ||
 	fail "phase 7 (router-tier cache hit rate / bit-clean)"
+
+echo "==> e2e phase 8a: columnar framing through the router (bit-match vs JSON replay)"
+# Reuses the phase 7 router: every columnar 200 is cross-checked
+# bit-identical against a JSON replay of the same contracts, and the
+# router must answer both framings. The router cache bypasses columnar
+# requests, so hits come only from the JSON replays.
+"$BIN" loadgen -url "$URL" -requests 48 -concurrency 4 \
+	-mix "closed-form=1" -options 8 -wire columnar -seed 9 \
+	-verify -assert-codes 200 -min-count 200:48 ||
+	fail "phase 8a (columnar through the router)"
+stop_drain 5000
+
+echo "==> e2e phase 8b: columnar framing against a lone replica"
+boot
+"$BIN" loadgen -url "$URL" -requests 48 -concurrency 4 \
+	-mix "closed-form=1,greeks=1" -options 8 -wire columnar -seed 9 \
+	-verify -assert-codes 200 -min-count 200:48 ||
+	fail "phase 8b (columnar against a replica)"
 stop_drain 5000
 
 echo "e2e: all phases passed"
