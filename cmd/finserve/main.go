@@ -230,6 +230,10 @@ func runLoadgen(args []string) int {
 		maxRetries   = fs.Int("assert-max-retries", -1, "maximum routed retries across the run (-1 = no limit)")
 		minBrkOpens  = fs.Uint64("assert-min-breaker-opens", 0, "require at least N breaker opens on the router's /statsz")
 		brkClosed    = fs.Bool("assert-breakers-closed", false, "require every router breaker closed after the run")
+		scenarioMode = fs.Bool("scenario", false, "drive POST /scenario instead of the /price mix; -options sets the portfolio size and with -verify every 200 must be byte-identical to the library's scenario engine")
+		scenGrid     = fs.String("scenario-grid", "5x3x3", "scenario shock grid as SPOTxVOLxRATE counts")
+		scenGens     = fs.Int("scenario-gens", 0, "scenarios per generator (adds one heston, jump and basket generator each; 0 = grid only)")
+		minScattered = fs.Int("assert-min-scattered", 0, "require at least N scenario 200s split across replicas by the router")
 	)
 	_ = fs.Parse(args)
 
@@ -257,6 +261,11 @@ func runLoadgen(args []string) int {
 	if zs < 0 {
 		zs = 0
 	}
+	grid, err := loadgen.ParseScenarioGrid(*scenGrid)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
 	rep, err := loadgen.Run(loadgen.Options{
 		BaseURL:           *url,
 		Concurrency:       *concurrency,
@@ -276,6 +285,10 @@ func runLoadgen(args []string) int {
 		Timeout:  *timeout,
 		ZipfPool: *zipfPool,
 		ZipfS:    zs,
+
+		Scenario:     *scenarioMode,
+		ScenarioGrid: grid,
+		ScenarioGens: *scenGens,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -301,6 +314,13 @@ func runLoadgen(args []string) int {
 	}
 	if *wireFmt == "columnar" && rep.Columnar == 0 && rep.Count(200) > 0 {
 		fail("-wire columnar requested but no 200 arrived over the columnar framing")
+	}
+	if *minScattered > 0 {
+		if rep.Scattered < *minScattered {
+			fail("router scattered %d scenario responses, want >= %d", rep.Scattered, *minScattered)
+		} else {
+			fmt.Printf("router scattered %d scenario responses (floor %d)\n", rep.Scattered, *minScattered)
+		}
 	}
 	if len(allow) > 0 {
 		for code, n := range rep.Codes {

@@ -1,65 +1,97 @@
-// Portfolio: price a million-option European book with the batch engine at
-// each optimization level, reproducing the paper's optimization ladder
-// (Fig. 4) as host wall-clock throughput, then aggregate the book's value
-// and delta exposure.
+// Portfolio: revalue a large European book across a shock grid with the
+// scenario engine — the cross product of spot, vol and rate shocks,
+// each cell repricing the whole book through the batch pricing path —
+// then read the desk numbers off the reduced surface: base value, the
+// worst corner, and the VaR/ES ladder over the grid distribution.
+//
+// The same request, POSTed to /scenario, returns this response byte for
+// byte; through the shard router the grid is scattered across replicas
+// and merged back to identical bits.
 //
 //	go run ./examples/portfolio
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"finbench"
+	"finbench/internal/scenario"
 )
 
-const nOptions = 1_000_000
+const nPositions = 100_000
 
 func main() {
 	mkt := finbench.Market{Rate: 0.03, Volatility: 0.25}
 
 	// A synthetic book: strikes laddered around spot, maturities from one
-	// month to five years.
-	b := finbench.NewBatch(nOptions)
-	for i := 0; i < nOptions; i++ {
-		b.Spots[i] = 100
-		b.Strikes[i] = 60 + float64(i%81)           // 60..140
-		b.Expiries[i] = 1.0/12 + float64(i%60)/12.0 // 1m..5y
+	// month to five years, alternating calls and puts, long and short.
+	req := &scenario.Request{
+		Portfolio: make([]scenario.Position, nPositions),
+		Grid: scenario.Grid{
+			SpotShocks: []float64{-0.30, -0.20, -0.10, -0.05, 0, 0.05, 0.10, 0.20, 0.30},
+			VolShocks:  []float64{-0.10, -0.05, 0, 0.05, 0.10},
+			RateShifts: []float64{-0.01, 0, 0.01},
+		},
+	}
+	for i := range req.Portfolio {
+		p := &req.Portfolio[i]
+		p.Spot = 100
+		p.Strike = 60 + float64(i%81)          // 60..140
+		p.Expiry = 1.0/12 + float64(i%60)/12.0 // 1m..5y
+		p.Quantity = float64(1 + i%5)
+		if i%2 == 1 {
+			p.Type = "put"
+		}
+		if i%7 == 0 {
+			p.Quantity = -p.Quantity
+		}
+	}
+	if err := req.Validate(mkt.Volatility, scenario.Limits{}); err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Printf("Pricing %d European options (calls and puts) per level:\n\n", nOptions)
-	var calls []float64
-	for _, level := range []finbench.OptLevel{
-		finbench.LevelBasic, finbench.LevelIntermediate, finbench.LevelAdvanced,
-	} {
-		start := time.Now()
-		if err := finbench.PriceBatch(b, mkt, level); err != nil {
-			log.Fatal(err)
-		}
-		elapsed := time.Since(start)
-		fmt.Printf("  %-14s %8.1f ms  %7.2f Mopts/s\n",
-			level, elapsed.Seconds()*1e3, float64(nOptions)/elapsed.Seconds()/1e6)
-		calls = b.Calls
+	cells := req.NumCells()
+	fmt.Printf("Revaluing %d positions across a %dx%dx%d shock grid (%d cells, %d pricings):\n\n",
+		nPositions, len(req.Grid.SpotShocks), len(req.Grid.VolShocks), len(req.Grid.RateShifts),
+		cells, cells*nPositions)
+
+	start := time.Now()
+	base, pnl, err := scenario.EvaluateCells(context.Background(), req, mkt, 0, cells)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	resp := scenario.Finalize(req, base, 0, pnl)
+
+	fmt.Printf("  %8.1f ms   %6.2f Mpricings/s   %8.0f cells/s\n\n",
+		elapsed.Seconds()*1e3,
+		float64(cells*nPositions)/elapsed.Seconds()/1e6,
+		float64(cells)/elapsed.Seconds())
+
+	fmt.Printf("Book value (unshocked): %.0f\n", resp.BaseValue)
+	lad := resp.Ladder
+	fmt.Printf("Across the grid: mean P&L %.0f, worst %.0f, best %.0f\n",
+		lad.MeanPnL, lad.WorstPnL, lad.BestPnL)
+	for i, q := range lad.Levels {
+		fmt.Printf("  VaR %2.0f%%: %10.0f    ES %2.0f%%: %10.0f\n",
+			100*q, lad.VaR[i], 100*q, lad.ES[i])
 	}
 
-	// Aggregate book value and delta (per unit notional).
-	var value, delta float64
-	for i := 0; i < nOptions; i++ {
-		value += calls[i]
-		g, err := finbench.ComputeGreeks(finbench.Option{
-			Type: finbench.Call, Style: finbench.European,
-			Spot: b.Spots[i], Strike: b.Strikes[i], Expiry: b.Expiries[i],
-		}, mkt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		delta += g.DeltaCall
-		if i == 9999 {
-			// Greeks for a 10k sample are plenty for the demo.
-			delta *= float64(nOptions) / 10000
-			break
+	// The worst corner, located in the row-major cell space (spot
+	// outermost, rate innermost) — the same indexing the router uses to
+	// scatter cell ranges.
+	worst, at := pnl[0], 0
+	for i, v := range pnl {
+		if v < worst {
+			worst, at = v, i
 		}
 	}
-	fmt.Printf("\nBook value (calls): %.0f   approx. aggregate delta: %.0f shares\n", value, delta)
+	nv, nr := len(req.Grid.VolShocks), len(req.Grid.RateShifts)
+	si, vi, ri := at/(nv*nr), (at/nr)%nv, at%nr
+	fmt.Printf("Worst cell: spot %+.0f%%, vol %+.0fpt, rate %+.0fbp -> P&L %.0f\n",
+		100*req.Grid.SpotShocks[si], 100*req.Grid.VolShocks[vi],
+		10000*req.Grid.RateShifts[ri], worst)
 }

@@ -132,7 +132,8 @@ func Experiments() []*Experiment {
 
 func order(id string) int {
 	for i, k := range []string{"tab1", "fig4", "fig5", "fig6", "tab2", "fig8", "ninja",
-		"ablate-tile", "ablate-rng", "ablate-qmc", "ablate-width"} {
+		"ablate-tile", "ablate-rng", "ablate-qmc", "ablate-width", "servepath",
+		"scenario"} {
 		if id == k {
 			return i
 		}

@@ -29,6 +29,12 @@ const pricecachePkgPath = "finbench/internal/serve/pricecache"
 // functions are the kernel entry points the serving tier calls.
 const rootPkgPath = "finbench"
 
+// scenarioPkgPath is the portfolio risk scenario engine. Scatter runs
+// its partition closure on one goroutine per partition concurrently, so
+// a captured RNG stream races across partitions and breaks the
+// byte-identity contract the scatter-gather merge depends on.
+const scenarioPkgPath = "finbench/internal/scenario"
+
 // concurrentClosureFuncs maps package path to the entry points whose
 // closure argument executes concurrently (or re-executes, for Retry).
 // ForIndexed is included: its worker id makes the per-worker pattern
@@ -62,6 +68,11 @@ var concurrentClosureFuncs = map[string]map[string]bool{
 		// re-dispatch, run concurrently across keys, result cached.
 		"Do": true,
 	},
+	scenarioPkgPath: {
+		// One goroutine per partition; the closure must derive any stream
+		// from the partition's cell range, never capture one.
+		"Scatter": true,
+	},
 }
 
 // closureHints is the per-package fix suggestion appended to the
@@ -70,6 +81,7 @@ var closureHints = map[string]string{
 	parallelPkgPath:   "derive a per-worker stream inside the closure (e.g. rng.NewStream(worker, seed) with parallel.ForIndexed)",
 	resiliencePkgPath: "derive a per-attempt stream inside the closure (hedge legs run concurrently, and a retried attempt must not continue a prior attempt's sequence)",
 	pricecachePkgPath: "derive the stream inside the compute closure from the cache key's seed (a re-dispatched compute must reproduce the leader's bytes, or the cache fans out divergent responses)",
+	scenarioPkgPath:   "derive a per-partition stream inside the closure from the partition's cells (e.g. rng.NewStream(0, rng.DeriveSeed(seed, cellIndex))); partitions evaluate concurrently and must merge to deterministic bytes",
 }
 
 // kernelEntryCtx maps the full name of each plain (deadline-blind) kernel
@@ -84,6 +96,7 @@ var closureHints = map[string]string{
 var kernelEntryCtx = map[string]string{
 	rootPkgPath + ".Price":                                  rootPkgPath + ".PriceCtx",
 	rootPkgPath + ".PriceBatch":                             rootPkgPath + ".PriceBatchCtx",
+	rootPkgPath + ".PriceBatchGrid":                         rootPkgPath + ".PriceBatchGridCtx",
 	"(*" + rootPkgPath + ".PathSimulator).Simulate":         "",
 	"(*" + rootPkgPath + ".PathSimulator).SimulateTerminal": "",
 }

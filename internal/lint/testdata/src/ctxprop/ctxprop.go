@@ -101,3 +101,26 @@ func GoodCacheHandler(w http.ResponseWriter, r *http.Request) {
 		return nil, false, err
 	})
 }
+
+// GridHandler reaches the deadline-blind grid entry point — the scenario
+// engine's kernel. A scenario request is the serving tier's largest unit
+// of work (cells x positions pricings), so a handler that cannot cancel
+// a grid evaluation keeps the whole surface running after the client's
+// deadline has passed.
+func GridHandler(w http.ResponseWriter, r *http.Request) {
+	b := finbench.NewBatch(4)
+	rows := []finbench.GridRow{{Scale: 1}}
+	_ = finbench.PriceBatchGrid(b, rows, func(row int, calls, puts []float64) error { // seeded violation
+		return nil
+	})
+}
+
+// GoodGridHandler evaluates the grid through the cancellable variant:
+// the row loop checks the request context between rows. Clean.
+func GoodGridHandler(w http.ResponseWriter, r *http.Request) {
+	b := finbench.NewBatch(4)
+	rows := []finbench.GridRow{{Scale: 1}}
+	_ = finbench.PriceBatchGridCtx(r.Context(), b, rows, func(row int, calls, puts []float64) error {
+		return nil
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"finbench/internal/perf"
 	"finbench/internal/resilience"
 	"finbench/internal/rng"
+	"finbench/internal/scenario"
 	"finbench/internal/serve/pricecache"
 )
 
@@ -145,4 +146,27 @@ func GoodPerComputeSingleflight(ctx context.Context, c *pricecache.Cache, key pr
 		return nil, false, nil
 	})
 	return err
+}
+
+// BadSharedStreamScatter captures one stream in a scenario scatter
+// closure: partitions evaluate on concurrent goroutines, so the twister
+// state races and the merged surface depends on scheduling — the exact
+// nondeterminism the engine's byte-identity contract forbids.
+func BadSharedStreamScatter(ctx context.Context, parts []scenario.Partition, dst []float64, seed uint64) error {
+	stream := rng.NewStream(0, seed)
+	return scenario.Scatter(ctx, parts, func(ctx context.Context, p scenario.Partition) error {
+		stream.Uniform(dst[p.Start : p.Start+p.Count]) // seeded violation
+		return nil
+	})
+}
+
+// GoodPerPartitionScatter derives the stream inside the closure from the
+// partition's first cell: any process evaluating any partition draws the
+// same reproducible sequence, so the merge is deterministic. Not flagged.
+func GoodPerPartitionScatter(ctx context.Context, parts []scenario.Partition, dst []float64, seed uint64) error {
+	return scenario.Scatter(ctx, parts, func(ctx context.Context, p scenario.Partition) error {
+		stream := rng.NewStream(0, rng.DeriveSeed(seed, uint64(p.Start)))
+		stream.Uniform(dst[p.Start : p.Start+p.Count])
+		return nil
+	})
 }

@@ -1,0 +1,41 @@
+package scenario
+
+import "math"
+
+// Kahan-compensated summation (the Kahan/Neumaier scalar-product
+// machinery analyzed in arXiv:1604.01890): every reduction the scenario
+// engine reports — portfolio values, per-cell P&L, the ladder's means —
+// accumulates through Sum instead of a bare float64. Two properties
+// matter here:
+//
+//  1. Accuracy. The compensated error bound is ~2·eps·Σ|x| independent
+//     of n (versus n·eps for naive summation), pinned by the math/big
+//     reference test.
+//  2. Determinism under distribution. Compensation does NOT make
+//     addition associative — reordering still changes bits. The engine
+//     gets bit-stable distributed answers by fixing the order instead:
+//     every sum runs in deterministic grid/portfolio order, and the
+//     shard router merges sub-surfaces back into that order before
+//     reducing, so any partitioning reproduces the single-process bytes
+//     (the permutation-invariance test).
+
+// Sum is a Neumaier-compensated accumulator. The zero value is an empty
+// sum.
+type Sum struct {
+	s float64 // running sum
+	c float64 // running compensation
+}
+
+// Add accumulates x.
+func (k *Sum) Add(x float64) {
+	t := k.s + x
+	if math.Abs(k.s) >= math.Abs(x) {
+		k.c += (k.s - t) + x
+	} else {
+		k.c += (x - t) + k.s
+	}
+	k.s = t
+}
+
+// Value returns the compensated total.
+func (k *Sum) Value() float64 { return k.s + k.c }

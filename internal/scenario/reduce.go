@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"math"
+	"sort"
+)
+
+// Reduce computes the ladder over the full P&L surface. Determinism
+// contract: the mean accumulates in global cell order, the tail sums in
+// ascending sorted order, both Kahan-compensated — so the same surface
+// always reduces to the same bits regardless of how its cells were
+// computed or merged.
+func Reduce(levels []float64, pnl []float64) *Ladder {
+	n := len(pnl)
+	lad := &Ladder{
+		Levels: append([]float64(nil), levels...),
+		VaR:    make([]float64, len(levels)),
+		ES:     make([]float64, len(levels)),
+	}
+	if n == 0 {
+		return lad
+	}
+	var mean Sum
+	for _, x := range pnl {
+		mean.Add(x)
+	}
+	lad.MeanPnL = mean.Value() / float64(n)
+
+	sorted := append([]float64(nil), pnl...)
+	sort.Float64s(sorted)
+	lad.WorstPnL = sorted[0]
+	lad.BestPnL = sorted[n-1]
+
+	for i, q := range levels {
+		// Nearest-rank loss quantile: the worst ceil((1-q)*n) cells are
+		// the tail; VaR is the mildest tail loss, ES the tail's
+		// Kahan-compensated mean. Both are reported as positive losses.
+		// The 1-1e-12 shave keeps representation noise (0.3*10 =
+		// 3.0000000000000004) from inflating the tail past the exact ceil.
+		tail := int(math.Ceil((1 - q) * float64(n) * (1 - 1e-12)))
+		if tail < 1 {
+			tail = 1
+		}
+		if tail > n {
+			tail = n
+		}
+		lad.VaR[i] = -sorted[tail-1]
+		var es Sum
+		for _, x := range sorted[:tail] {
+			es.Add(x)
+		}
+		lad.ES[i] = -es.Value() / float64(tail)
+	}
+	return lad
+}

@@ -1,0 +1,351 @@
+// Package scenario is the portfolio risk engine of the serving tier: one
+// request prices a whole portfolio across a scenario grid — the cross
+// product of spot shocks × vol shocks × rate shifts, plus optional Monte
+// Carlo scenario generators (Heston stochastic vol, Merton jumps,
+// correlated baskets) — and reduces the per-scenario P&L surface to a
+// VaR/ES ladder.
+//
+// The cell space is the engine's unit of distribution. Cells are indexed
+// globally: grid cells first in row-major order (spot outermost, rate
+// innermost), then each generator's block in declaration order. Every
+// cell's P&L is a pure function of (request, base market, cell index):
+// grid cells reprice closed-form under the shocked market, and generator
+// cells derive their RNG stream from (generator seed, cell offset), so
+// any process evaluates any cell sub-range to identical bits. The shard
+// router exploits exactly that: it scatters disjoint cell ranges across
+// replicas and merges the sub-surfaces back into grid order, and the
+// merged response is byte-identical to a single process answering the
+// whole request. All reductions are Kahan-compensated (see kahan.go) and
+// run in deterministic order, never in arrival order.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Limits bounds a request; the serving tier fills it from its config.
+type Limits struct {
+	// MaxPositions bounds the portfolio size.
+	MaxPositions int
+	// MaxCells bounds the total scenario cell count (grid + generators).
+	MaxCells int
+}
+
+// Position is one portfolio holding: a European contract and a signed
+// quantity (negative = short). Quantity 0 means 1.
+type Position struct {
+	// Type is "call" (default) or "put".
+	Type     string  `json:"type,omitempty"`
+	Spot     float64 `json:"spot"`
+	Strike   float64 `json:"strike"`
+	Expiry   float64 `json:"expiry"`
+	Quantity float64 `json:"quantity,omitempty"`
+}
+
+// Qty returns the effective quantity (0 defaults to 1).
+func (p *Position) Qty() float64 {
+	if p.Quantity == 0 { // finlint:ignore floateq zero is the untouched-field sentinel, never a computed value
+		return 1
+	}
+	return p.Quantity
+}
+
+// Grid is the closed-form shock grid: the cross product of the three
+// axes, row-major with spot shocks outermost and rate shifts innermost.
+// An empty axis means the single unshocked point.
+type Grid struct {
+	// SpotShocks are relative: spot scales by (1 + shock); each must be
+	// > -1.
+	SpotShocks []float64 `json:"spot_shocks,omitempty"`
+	// VolShocks shift the base volatility absolutely; the shifted vol
+	// must stay positive.
+	VolShocks []float64 `json:"vol_shocks,omitempty"`
+	// RateShifts shift the base rate absolutely.
+	RateShifts []float64 `json:"rate_shifts,omitempty"`
+}
+
+// unshocked is the default single point of an empty grid axis.
+var unshocked = []float64{0}
+
+func (g *Grid) spotShocks() []float64 {
+	if len(g.SpotShocks) == 0 {
+		return unshocked
+	}
+	return g.SpotShocks
+}
+
+func (g *Grid) volShocks() []float64 {
+	if len(g.VolShocks) == 0 {
+		return unshocked
+	}
+	return g.VolShocks
+}
+
+func (g *Grid) rateShifts() []float64 {
+	if len(g.RateShifts) == 0 {
+		return unshocked
+	}
+	return g.RateShifts
+}
+
+// Generator models for Monte Carlo scenario sources.
+const (
+	ModelHeston = "heston"
+	ModelJump   = "jump"
+	ModelBasket = "basket"
+)
+
+// DefaultHorizon is the risk horizon when a generator specifies none:
+// ten trading days.
+const DefaultHorizon = 10.0 / 252
+
+// Generator is one Monte Carlo scenario source: it simulates Scenarios
+// market states at the horizon and applies each as an instantaneous
+// shock (no theta decay — the portfolio's expiries are unchanged).
+// Scenario k of a generator draws from an RNG stream seeded by
+// DeriveSeed(Seed, k), so the block is reproducible cell by cell on any
+// process; the router still gives each generator block exactly one
+// attempt and never splits it (the Monte Carlo coalescing rule).
+type Generator struct {
+	// Model is "heston", "jump" or "basket".
+	Model string `json:"model"`
+	// Scenarios is the cell count this generator contributes (>= 1).
+	Scenarios int `json:"scenarios"`
+	// Horizon is the risk horizon in years (default 10/252).
+	Horizon float64 `json:"horizon,omitempty"`
+	// Seed selects the generator's scenario set (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Heston (stochastic vol): initial variance V0 (0 = base vol
+	// squared), mean reversion Kappa (0 = 1.5) toward ThetaV (0 = V0),
+	// vol-of-vol SigmaV (0 = 0.5), correlation Rho (0 = -0.7).
+	V0     float64 `json:"v0,omitempty"`
+	Kappa  float64 `json:"kappa,omitempty"`
+	ThetaV float64 `json:"theta_v,omitempty"`
+	SigmaV float64 `json:"sigma_v,omitempty"`
+	Rho    float64 `json:"rho,omitempty"`
+
+	// Jump (Merton): intensity Lambda (0 = 0.3 jumps/year), mean jump
+	// size MuJ (0 = -0.1, log space), jump vol SigmaJ (0 = 0.15).
+	Lambda float64 `json:"lambda,omitempty"`
+	MuJ    float64 `json:"mu_j,omitempty"`
+	SigmaJ float64 `json:"sigma_j,omitempty"`
+
+	// Basket: Assets correlated factors (0 = 4) with pairwise
+	// correlation Corr in [0, 1] (0 = 0.5); position i moves with
+	// factor i mod Assets.
+	Assets int     `json:"assets,omitempty"`
+	Corr   float64 `json:"corr,omitempty"`
+}
+
+func (g *Generator) horizon() float64 {
+	if g.Horizon == 0 { // finlint:ignore floateq zero is the untouched-field sentinel, never a computed value
+		return DefaultHorizon
+	}
+	return g.Horizon
+}
+
+func (g *Generator) seed() uint64 {
+	if g.Seed == 0 {
+		return 1
+	}
+	return g.Seed
+}
+
+// Cells marks a sub-range request: evaluate only the global cells
+// [Start, Start+Count). The shard router sets it on the per-replica
+// sub-requests of its scatter-gather path; clients normally omit it.
+type Cells struct {
+	Start int `json:"start"`
+	Count int `json:"count"`
+}
+
+// Request is the POST /scenario body.
+type Request struct {
+	Portfolio  []Position  `json:"portfolio"`
+	Grid       Grid        `json:"grid"`
+	Generators []Generator `json:"generators,omitempty"`
+	// VarLevels are the ladder's confidence levels in (0,1); empty means
+	// [0.95, 0.99].
+	VarLevels  []float64 `json:"var_levels,omitempty"`
+	DeadlineMS int64     `json:"deadline_ms,omitempty"`
+	Cells      *Cells    `json:"cells,omitempty"`
+}
+
+// defaultVarLevels is the ladder when the request names none.
+var defaultVarLevels = []float64{0.95, 0.99}
+
+// Levels returns the effective VaR confidence levels.
+func (r *Request) Levels() []float64 {
+	if len(r.VarLevels) == 0 {
+		return defaultVarLevels
+	}
+	return r.VarLevels
+}
+
+// NumGridCells is the closed-form grid's cell count.
+func (r *Request) NumGridCells() int {
+	return len(r.Grid.spotShocks()) * len(r.Grid.volShocks()) * len(r.Grid.rateShifts())
+}
+
+// NumGenCells is the total cell count contributed by generators.
+func (r *Request) NumGenCells() int {
+	n := 0
+	for i := range r.Generators {
+		n += r.Generators[i].Scenarios
+	}
+	return n
+}
+
+// NumCells is the full scenario cell count (grid + generators).
+func (r *Request) NumCells() int { return r.NumGridCells() + r.NumGenCells() }
+
+// ErrRequest wraps every validation failure.
+var ErrRequest = errors.New("scenario: invalid request")
+
+func badRequest(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrRequest, fmt.Sprintf(format, args...))
+}
+
+func finite(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the request against baseVol (the server market's
+// volatility, which vol shocks must not drive to zero) and lim. It
+// validates the whole cell space even for a sub-range request, so a
+// replica answering a router partition enforces exactly the limits a
+// whole-request replica would.
+func (r *Request) Validate(baseVol float64, lim Limits) error {
+	if len(r.Portfolio) == 0 {
+		return badRequest("empty portfolio")
+	}
+	if lim.MaxPositions > 0 && len(r.Portfolio) > lim.MaxPositions {
+		return badRequest("portfolio too large: %d > %d positions", len(r.Portfolio), lim.MaxPositions)
+	}
+	for i := range r.Portfolio {
+		p := &r.Portfolio[i]
+		if p.Type != "" && p.Type != "call" && p.Type != "put" {
+			return badRequest("position %d: unknown type %q", i, p.Type)
+		}
+		if !finite(p.Spot, p.Strike, p.Expiry, p.Quantity) ||
+			p.Spot <= 0 || p.Strike <= 0 || p.Expiry <= 0 {
+			return badRequest("position %d: need positive finite spot/strike/expiry", i)
+		}
+	}
+	for _, s := range r.Grid.spotShocks() {
+		if !finite(s) || s <= -1 {
+			return badRequest("spot shock %v: need finite shock > -1", s)
+		}
+	}
+	for _, s := range r.Grid.volShocks() {
+		if !finite(s) || baseVol+s <= 0 {
+			return badRequest("vol shock %v drives volatility %v non-positive", s, baseVol)
+		}
+	}
+	for _, s := range r.Grid.rateShifts() {
+		if !finite(s) {
+			return badRequest("rate shift must be finite")
+		}
+	}
+	for i := range r.Generators {
+		if err := r.Generators[i].validate(); err != nil {
+			return fmt.Errorf("generator %d: %w", i, err)
+		}
+	}
+	for _, q := range r.Levels() {
+		if !finite(q) || q <= 0 || q >= 1 {
+			return badRequest("var level %v: need 0 < level < 1", q)
+		}
+	}
+	total := r.NumCells()
+	if lim.MaxCells > 0 && total > lim.MaxCells {
+		return badRequest("too many cells: %d > %d", total, lim.MaxCells)
+	}
+	if c := r.Cells; c != nil {
+		if c.Start < 0 || c.Count < 1 || c.Start+c.Count > total {
+			return badRequest("cell range [%d,%d) outside [0,%d)", c.Start, c.Start+c.Count, total)
+		}
+	}
+	return nil
+}
+
+func (g *Generator) validate() error {
+	if g.Scenarios < 1 {
+		return badRequest("need scenarios >= 1")
+	}
+	if !finite(g.Horizon, g.V0, g.Kappa, g.ThetaV, g.SigmaV, g.Rho,
+		g.Lambda, g.MuJ, g.SigmaJ, g.Corr) || g.Horizon < 0 {
+		return badRequest("parameters must be finite (horizon >= 0)")
+	}
+	switch g.Model {
+	case ModelHeston:
+		if g.V0 < 0 || g.Kappa < 0 || g.ThetaV < 0 || g.SigmaV < 0 || g.Rho < -1 || g.Rho > 1 {
+			return badRequest("heston: need V0, Kappa, ThetaV, SigmaV >= 0 and |Rho| <= 1")
+		}
+	case ModelJump:
+		if g.Lambda < 0 || g.SigmaJ < 0 {
+			return badRequest("jump: need Lambda, SigmaJ >= 0")
+		}
+	case ModelBasket:
+		if g.Assets < 0 || g.Corr < 0 || g.Corr > 1 {
+			return badRequest("basket: need Assets >= 0 and 0 <= Corr <= 1")
+		}
+	default:
+		return badRequest("unknown model %q", g.Model)
+	}
+	return nil
+}
+
+// Range returns the effective cell range this request asks for: the
+// Cells sub-range when present, the whole cell space otherwise.
+func (r *Request) Range() (start, count int) {
+	if r.Cells != nil {
+		return r.Cells.Start, r.Cells.Count
+	}
+	return 0, r.NumCells()
+}
+
+// Ladder is the VaR/ES ladder plus summary statistics of the full P&L
+// surface, reduced in deterministic order with Kahan compensation.
+type Ladder struct {
+	// Levels echoes the effective confidence levels; VaR[i] and ES[i]
+	// are the value-at-risk and expected shortfall at Levels[i], as
+	// positive loss amounts.
+	Levels []float64 `json:"levels"`
+	VaR    []float64 `json:"var"`
+	ES     []float64 `json:"es"`
+
+	MeanPnL  float64 `json:"mean_pnl"`
+	WorstPnL float64 `json:"worst_pnl"`
+	BestPnL  float64 `json:"best_pnl"`
+}
+
+// Response is the POST /scenario 200 body. A sub-range response carries
+// only its cells' P&L (no ladder); the full-range response — whether
+// computed by one process or merged by the router — carries the ladder
+// reduced over the whole surface. Responses deliberately carry no
+// timing field: a routed merge must be byte-identical to a lone
+// replica's answer.
+type Response struct {
+	// BaseValue is the unshocked portfolio value.
+	BaseValue float64 `json:"base_value"`
+	// Start is the global index of PnL[0]; Cells its length. GridCells
+	// and GenCells echo the request's full cell space.
+	Start     int `json:"start,omitempty"`
+	Cells     int `json:"cells"`
+	GridCells int `json:"grid_cells"`
+	GenCells  int `json:"gen_cells,omitempty"`
+	// PnL is the per-cell portfolio P&L versus BaseValue, in global cell
+	// order.
+	PnL    []float64 `json:"pnl"`
+	Ladder *Ladder   `json:"ladder,omitempty"`
+	Engine string    `json:"engine"`
+}

@@ -1,0 +1,329 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"finbench"
+)
+
+var testMarket = finbench.Market{Rate: 0.02, Volatility: 0.3}
+
+func testRequest() *Request {
+	req := &Request{
+		Grid: Grid{
+			SpotShocks: []float64{-0.2, -0.1, 0, 0.1, 0.2},
+			VolShocks:  []float64{-0.05, 0, 0.05},
+			RateShifts: []float64{-0.01, 0, 0.01},
+		},
+		Generators: []Generator{
+			{Model: ModelHeston, Scenarios: 7, Seed: 11},
+			{Model: ModelJump, Scenarios: 5, Seed: 12},
+			{Model: ModelBasket, Scenarios: 6, Seed: 13},
+		},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 9; i++ {
+		p := Position{
+			Spot:     60 + 80*rng.Float64(),
+			Strike:   60 + 80*rng.Float64(),
+			Expiry:   0.2 + 2*rng.Float64(),
+			Quantity: float64(rng.Intn(21) - 10),
+		}
+		if p.Quantity == 0 {
+			p.Quantity = 3
+		}
+		if rng.Intn(2) == 1 {
+			p.Type = "put"
+		}
+		req.Portfolio = append(req.Portfolio, p)
+	}
+	return req
+}
+
+func mustValidate(t *testing.T, req *Request) {
+	t.Helper()
+	if err := req.Validate(testMarket.Volatility, Limits{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fullBytes(t *testing.T, req *Request) []byte {
+	t.Helper()
+	base, pnl, err := EvaluateCells(context.Background(), req, testMarket, 0, req.NumCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(Finalize(req, base, 0, pnl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestPermutationInvariance is the Kahan-merge property test: any
+// partitioning of the cell space, evaluated in any order (serially
+// shuffled and concurrently via Scatter), must merge and reduce to the
+// byte-identical response a single whole-request evaluation produces.
+func TestPermutationInvariance(t *testing.T) {
+	req := testRequest()
+	mustValidate(t, req)
+	total := req.NumCells()
+	want := fullBytes(t, req)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		// Random partitioning: PartitionCells for a random worker count
+		// on even trials, fully random contiguous cuts on odd ones.
+		var parts []Partition
+		if trial%2 == 0 {
+			parts = PartitionCells(req, 1+rng.Intn(5))
+		} else {
+			for off := 0; off < total; {
+				n := 1 + rng.Intn(total-off)
+				parts = append(parts, Partition{Start: off, Count: n})
+				off += n
+			}
+		}
+		rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+
+		surface := make([]float64, total)
+		bases := make([]float64, len(parts))
+		var mu sync.Mutex
+		err := Scatter(context.Background(), parts, func(ctx context.Context, p Partition) error {
+			base, pnl, err := EvaluateCells(ctx, req, testMarket, p.Start, p.Count)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			copy(surface[p.Start:p.Start+p.Count], pnl)
+			for i := range parts {
+				if parts[i] == p {
+					bases[i] = base
+				}
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 1; i < len(bases); i++ {
+			if bases[i] != bases[0] {
+				t.Fatalf("trial %d: partition base values diverge: %v vs %v", trial, bases[i], bases[0])
+			}
+		}
+		got, err := json.Marshal(Finalize(req, bases[0], 0, surface))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("trial %d (%d partitions): merged response differs from whole-request response\n got: %s\nwant: %s",
+				trial, len(parts), got, want)
+		}
+	}
+}
+
+// TestKahanErrorBound checks the compensated sum against a math/big
+// reference on an ill-conditioned input: the Neumaier error stays within
+// a few eps of the true sum's magnitude scale, far below the naive
+// float64 loop's error.
+func TestKahanErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	xs := make([]float64, n)
+	for i := range xs {
+		// Alternating huge and tiny magnitudes with mixed signs: the
+		// classic cancellation stress.
+		mag := math.Pow(10, float64(rng.Intn(16))-8)
+		xs[i] = (rng.Float64()*2 - 1) * mag
+	}
+
+	var k Sum
+	naive := 0.0
+	absSum := 0.0
+	ref := new(big.Float).SetPrec(200)
+	for _, x := range xs {
+		k.Add(x)
+		naive += x
+		absSum += math.Abs(x)
+		ref.Add(ref, new(big.Float).SetPrec(200).SetFloat64(x))
+	}
+	want, _ := ref.Float64()
+
+	kahanErr := math.Abs(k.Value() - want)
+	naiveErr := math.Abs(naive - want)
+	// Neumaier bound: |err| <= 2u*sum|x| (+O(n*u^2)) with unit roundoff
+	// u = 2^-53; allow 2x headroom.
+	bound := 4 * 0x1p-53 * absSum
+	if kahanErr > bound {
+		t.Fatalf("kahan error %g exceeds bound %g (sum|x| = %g)", kahanErr, bound, absSum)
+	}
+	if naiveErr > 0 && kahanErr > naiveErr {
+		t.Fatalf("kahan error %g worse than naive %g", kahanErr, naiveErr)
+	}
+}
+
+// TestGeneratorCellsAreRandomAccess pins the sub-range determinism the
+// router's one-attempt dispatch relies on: evaluating a generator block
+// cell-by-cell, from any starting offset, reproduces the whole block's
+// bits.
+func TestGeneratorCellsAreRandomAccess(t *testing.T) {
+	req := testRequest()
+	mustValidate(t, req)
+	gridCells := req.NumGridCells()
+	total := req.NumCells()
+	_, whole, err := EvaluateCells(context.Background(), req, testMarket, 0, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := gridCells; idx < total; idx++ {
+		_, one, err := EvaluateCells(context.Background(), req, testMarket, idx, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one[0] != whole[idx] {
+			t.Fatalf("cell %d alone = %v, in whole run = %v", idx, one[0], whole[idx])
+		}
+	}
+}
+
+// TestReduceLadder sanity-checks the ladder on a hand-built surface.
+func TestReduceLadder(t *testing.T) {
+	pnl := []float64{-50, -40, -30, -20, -10, 0, 10, 20, 30, 40}
+	lad := Reduce([]float64{0.9}, pnl)
+	// tail = ceil(0.1*10) = 1 worst cell.
+	if lad.VaR[0] != 50 || lad.ES[0] != 50 {
+		t.Fatalf("VaR/ES = %v/%v, want 50/50", lad.VaR[0], lad.ES[0])
+	}
+	if lad.WorstPnL != -50 || lad.BestPnL != 40 {
+		t.Fatalf("worst/best = %v/%v", lad.WorstPnL, lad.BestPnL)
+	}
+	if math.Abs(lad.MeanPnL-(-5)) > 1e-12 {
+		t.Fatalf("mean = %v, want -5", lad.MeanPnL)
+	}
+	lad2 := Reduce([]float64{0.7}, pnl)
+	// tail = ceil(0.3*10) = 3 worst cells; ES is their mean loss.
+	if lad2.VaR[0] != 30 || lad2.ES[0] != 40 {
+		t.Fatalf("VaR/ES at 0.7 = %v/%v, want 30/40", lad2.VaR[0], lad2.ES[0])
+	}
+}
+
+// TestValidateRejects covers the request validation edges.
+func TestValidateRejects(t *testing.T) {
+	base := func() *Request {
+		return &Request{Portfolio: []Position{{Spot: 100, Strike: 100, Expiry: 1}}}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Request)
+	}{
+		{"empty portfolio", func(r *Request) { r.Portfolio = nil }},
+		{"bad type", func(r *Request) { r.Portfolio[0].Type = "straddle" }},
+		{"zero spot", func(r *Request) { r.Portfolio[0].Spot = 0 }},
+		{"nan strike", func(r *Request) { r.Portfolio[0].Strike = math.NaN() }},
+		{"spot shock <= -1", func(r *Request) { r.Grid.SpotShocks = []float64{-1} }},
+		{"vol shock kills vol", func(r *Request) { r.Grid.VolShocks = []float64{-testMarket.Volatility} }},
+		{"inf rate shift", func(r *Request) { r.Grid.RateShifts = []float64{math.Inf(1)} }},
+		{"unknown model", func(r *Request) { r.Generators = []Generator{{Model: "gbm", Scenarios: 1}} }},
+		{"zero scenarios", func(r *Request) { r.Generators = []Generator{{Model: ModelJump}} }},
+		{"bad rho", func(r *Request) { r.Generators = []Generator{{Model: ModelHeston, Scenarios: 1, Rho: 2}} }},
+		{"bad corr", func(r *Request) { r.Generators = []Generator{{Model: ModelBasket, Scenarios: 1, Corr: 1.5}} }},
+		{"bad var level", func(r *Request) { r.VarLevels = []float64{1} }},
+		{"cell range overflow", func(r *Request) { r.Cells = &Cells{Start: 0, Count: 2} }},
+		{"negative cell start", func(r *Request) { r.Cells = &Cells{Start: -1, Count: 1} }},
+	}
+	for _, tc := range cases {
+		req := base()
+		tc.mut(req)
+		if err := req.Validate(testMarket.Volatility, Limits{}); !errors.Is(err, ErrRequest) {
+			t.Errorf("%s: err = %v, want ErrRequest", tc.name, err)
+		}
+	}
+	if err := base().Validate(testMarket.Volatility, Limits{MaxPositions: 1, MaxCells: 1}); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	over := base()
+	over.Grid.SpotShocks = []float64{-0.1, 0, 0.1}
+	if err := over.Validate(testMarket.Volatility, Limits{MaxCells: 2}); !errors.Is(err, ErrRequest) {
+		t.Errorf("MaxCells not enforced: %v", err)
+	}
+}
+
+// TestPartitionCells pins the split: near-even contiguous grid ranges,
+// generators always whole and Monte Carlo.
+func TestPartitionCells(t *testing.T) {
+	req := testRequest()
+	mustValidate(t, req)
+	parts := PartitionCells(req, 4)
+	grid := req.NumGridCells()
+	off := 0
+	mc := 0
+	for _, p := range parts {
+		if p.Start != off {
+			t.Fatalf("partition gap: start %d, want %d", p.Start, off)
+		}
+		if p.MonteCarlo {
+			mc++
+			if p.Start < grid {
+				t.Fatalf("grid cells marked Monte Carlo: %+v", p)
+			}
+		} else if p.Start+p.Count > grid {
+			t.Fatalf("generator cells in a closed-form partition: %+v", p)
+		}
+		off += p.Count
+	}
+	if off != req.NumCells() {
+		t.Fatalf("partitions cover %d cells, want %d", off, req.NumCells())
+	}
+	if mc != len(req.Generators) {
+		t.Fatalf("%d Monte Carlo partitions, want one per generator (%d)", mc, len(req.Generators))
+	}
+	// More workers than grid cells: no empty partitions.
+	small := &Request{
+		Portfolio: []Position{{Spot: 100, Strike: 100, Expiry: 1}},
+		Grid:      Grid{SpotShocks: []float64{-0.1, 0.1}},
+	}
+	for _, p := range PartitionCells(small, 8) {
+		if p.Count < 1 {
+			t.Fatalf("empty partition: %+v", p)
+		}
+	}
+}
+
+// TestEvaluateCtxCancel: a cancelled context aborts the evaluation.
+func TestEvaluateCtxCancel(t *testing.T) {
+	req := testRequest()
+	mustValidate(t, req)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := EvaluateCells(ctx, req, testMarket, 0, req.NumCells()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestScatterReportsFirstPartitionError: the error surfaced is the first
+// in partition order, not completion order.
+func TestScatterReportsFirstPartitionError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	parts := []Partition{{Start: 0, Count: 1}, {Start: 1, Count: 1}, {Start: 2, Count: 1}}
+	err := Scatter(context.Background(), parts, func(_ context.Context, p Partition) error {
+		switch p.Start {
+		case 1:
+			return errA
+		case 2:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the first failing partition's error", err)
+	}
+}

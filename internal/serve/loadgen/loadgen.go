@@ -66,6 +66,18 @@ type Options struct {
 	ZipfPool int
 	ZipfS    float64
 
+	// Scenario switches the run to POST /scenario: every request prices a
+	// portfolio of OptionsPerRequest positions across a ScenarioGrid
+	// (spot x vol x rate shock counts, default 5x3x3) plus, when
+	// ScenarioGens > 0, one Heston, one jump and one basket generator of
+	// that many scenarios each. With Verify set, every 200 body must be
+	// byte-identical to the library's own evaluate+finalize — the
+	// scatter-gather reproducibility gate. Mix/Wire/ZipfPool are ignored
+	// in this mode.
+	Scenario     bool
+	ScenarioGrid [3]int
+	ScenarioGens int
+
 	// Wire selects the /price request framing for closed-form batches:
 	// "json" (or empty) sends the AOS JSON body, "columnar" sends the
 	// binary columnar frame. Columnar is closed-form-only, so other mix
@@ -88,6 +100,9 @@ type Report struct {
 	Degraded  int            `json:"degraded"`
 	// Columnar counts 200s answered over the binary columnar framing.
 	Columnar int `json:"columnar,omitempty"`
+	// Scattered counts scenario 200s the router split across replicas
+	// (X-Finserve-Partitions > 1); zero against a bare replica.
+	Scattered int `json:"scattered,omitempty"`
 	// Retries and HedgeWins are read from the router's X-Finserve-*
 	// response headers (zero against a bare replica): retries is the sum
 	// of attempts beyond the first across all answered requests.
@@ -156,6 +171,9 @@ func (r *Report) String() string {
 	if r.Columnar > 0 {
 		fmt.Fprintf(&b, " columnar=%d", r.Columnar)
 	}
+	if r.Scattered > 0 {
+		fmt.Fprintf(&b, " scattered=%d", r.Scattered)
+	}
 	if r.Retries > 0 || r.HedgeWins > 0 {
 		fmt.Fprintf(&b, " retries=%d hedge_wins=%d", r.Retries, r.HedgeWins)
 	}
@@ -195,6 +213,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 60 * time.Second
+	}
+	if o.ScenarioGrid == [3]int{} {
+		o.ScenarioGrid = [3]int{5, 3, 3}
 	}
 	return o
 }
@@ -305,13 +326,20 @@ func Run(o Options) (*Report, error) {
 				if i > int64(o.Requests) {
 					return
 				}
-				method := table[rng.Intn(len(table))]
-				var batch []serve.WireOption
-				if pools != nil && method != "greeks" {
-					batch = pools[method][zipfRank(rng, cdf)]
-				}
+				var code int
+				var outcome reqOutcome
+				var err error
 				t0 := time.Now()
-				code, outcome, err := o.doRequest(client, rng, method, batch, market)
+				if o.Scenario {
+					code, outcome, err = o.doScenario(client, rng, market)
+				} else {
+					method := table[rng.Intn(len(table))]
+					var batch []serve.WireOption
+					if pools != nil && method != "greeks" {
+						batch = pools[method][zipfRank(rng, cdf)]
+					}
+					code, outcome, err = o.doRequest(client, rng, method, batch, market)
+				}
 				reqMS := float64(time.Since(t0).Microseconds()) / 1000
 				mu.Lock()
 				rep.Requests++
@@ -325,6 +353,7 @@ func Run(o Options) (*Report, error) {
 					rep.Coalesced += outcome.coalesced
 					rep.Degraded += outcome.degraded
 					rep.Columnar += outcome.columnar
+					rep.Scattered += outcome.scattered
 					rep.Retries += outcome.retries
 					rep.HedgeWins += outcome.hedgeWon
 					rep.CacheHits += outcome.cacheHit
@@ -359,7 +388,7 @@ func percentile(values []float64, q float64) float64 {
 
 type reqOutcome struct {
 	verified, mismatch, coalesced, degraded int
-	columnar                                int
+	columnar, scattered                     int
 	retries, hedgeWon                       int
 	cacheHit, cacheMiss, cacheCollapsed     int
 	cacheBypass                             int

@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"finbench/internal/serve"
+	"finbench/internal/serve/shard"
+)
+
+// TestScenarioModeVerifiesAgainstReplica: scenario mode against a bare
+// replica — every 200 byte-matches the library, no scatters observed.
+func TestScenarioModeVerifiesAgainstReplica(t *testing.T) {
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	rep, err := Run(Options{
+		BaseURL:           ts.URL,
+		Requests:          6,
+		Concurrency:       2,
+		OptionsPerRequest: 5,
+		Scenario:          true,
+		ScenarioGrid:      [3]int{4, 3, 2},
+		ScenarioGens:      3,
+		Verify:            true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(200) != 6 || rep.Mismatch != 0 || rep.Verified != 6 {
+		t.Fatalf("scenario run against replica: %s", rep)
+	}
+	if rep.Scattered != 0 {
+		t.Errorf("bare replica reported %d scattered responses", rep.Scattered)
+	}
+}
+
+// TestScenarioModeVerifiesThroughRouter: the same verification through a
+// 2-replica scatter-gathering router — byte-identity must survive the
+// split/merge, and the partitions header must show splits happened.
+func TestScenarioModeVerifiesThroughRouter(t *testing.T) {
+	var urls []string
+	for i := 0; i < 2; i++ {
+		s := serve.New(serve.Config{})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		defer s.Close()
+		urls = append(urls, ts.URL)
+	}
+	router, err := shard.New(shard.Config{Backends: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Start()
+	defer router.Close()
+	front := httptest.NewServer(router)
+	defer front.Close()
+
+	rep, err := Run(Options{
+		BaseURL:           front.URL,
+		Requests:          6,
+		Concurrency:       2,
+		OptionsPerRequest: 5,
+		Scenario:          true,
+		ScenarioGens:      2,
+		Verify:            true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count(200) != 6 || rep.Mismatch != 0 || rep.Verified != 6 {
+		t.Fatalf("scenario run through router: %s", rep)
+	}
+	if rep.Scattered != 6 {
+		t.Errorf("scattered = %d, want all 6 requests split", rep.Scattered)
+	}
+}

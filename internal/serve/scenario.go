@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"finbench/internal/scenario"
+	"finbench/internal/serve/wire"
+)
+
+// POST /scenario prices a portfolio across a scenario grid (spot shocks x
+// vol shocks x rate shifts, plus Monte Carlo scenario generators) and
+// reduces the P&L surface to a VaR/ES ladder with Kahan-compensated,
+// deterministically ordered reductions. A request may carry a `cells`
+// sub-range — that is how the shard router scatters one grid across
+// replicas — in which case the response is the P&L segment without the
+// ladder. The 200 body is a pure function of (request, market): no
+// timing field, so a router merging sub-responses reproduces the
+// single-process bytes exactly.
+
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.stats.scenarioRequests.Add(1)
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		s.stats.shedDrain.Add(1)
+		s.writeShed(w, "server is draining")
+		return
+	}
+	if !s.rateAllow() {
+		s.stats.shedRate.Add(1)
+		s.writeError(w, http.StatusTooManyRequests, "request rate limit exceeded")
+		return
+	}
+	buf := wire.GetBuffer()
+	body, err := readBody(r, buf)
+	if err != nil {
+		wire.PutBuffer(buf)
+		s.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var req scenario.Request
+	err = json.Unmarshal(body, &req)
+	wire.PutBuffer(buf)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding scenario request: "+err.Error())
+		return
+	}
+	if req.DeadlineMS < 0 {
+		s.writeError(w, http.StatusBadRequest, "deadline_ms must be non-negative")
+		return
+	}
+	lim := scenario.Limits{MaxPositions: s.cfg.MaxOptions, MaxCells: s.cfg.MaxScenarioCells}
+	if err := req.Validate(s.cfg.Market.Volatility, lim); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Admission cost: one unit per (cell, position) valuation, like one
+	// unit per closed-form option on /price.
+	rangeStart, cells := req.Range()
+	units, ok := s.adm.acquire(int64(cells)*int64(len(req.Portfolio)), s.cfg.AdmitWait)
+	if !ok {
+		s.deg.noteShed()
+		s.stats.shedAdmission.Add(1)
+		s.writeShed(w, "work budget exhausted")
+		return
+	}
+	s.deg.noteAdmit()
+	defer s.adm.release(units)
+
+	deadline := s.cfg.MaxDeadline
+	if req.DeadlineMS > 0 {
+		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < deadline {
+			deadline = d
+		}
+	}
+	dctx := acquireDeadline(r.Context(), time.Now().Add(deadline))
+	defer dctx.release()
+
+	base, pnl, err := scenario.EvaluateCells(dctx, &req, s.cfg.Market, rangeStart, cells)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.writeError(w, http.StatusRequestTimeout, "scenario deadline exceeded")
+		} else {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	s.stats.scenarioCells.Add(uint64(cells))
+	s.stats.observeLatency("scenario", time.Since(start))
+	s.writeJSON(w, http.StatusOK, scenario.Finalize(&req, base, rangeStart, pnl))
+}

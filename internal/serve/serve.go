@@ -7,7 +7,8 @@
 // effective parameters under sustained overload. Every 200 response is
 // bit-reproducible from the effective method/config it reports.
 //
-// Endpoints: POST /price, POST /greeks, GET /statsz, GET /healthz.
+// Endpoints: POST /price, POST /greeks, POST /scenario, GET /statsz,
+// GET /healthz.
 // Status codes: 400 malformed, 404/405 routing, 408 deadline exceeded,
 // 429 rate-limited, 503 shed or draining (with Retry-After).
 package serve
@@ -59,6 +60,10 @@ type Config struct {
 	MaxOptions int
 	MaxPaths   int
 
+	// MaxScenarioCells bounds scenario cells (grid points + generator
+	// scenarios) per /scenario request; default 16384.
+	MaxScenarioCells int
+
 	// MaxDeadline caps client deadlines and bounds requests that supply
 	// none; default 30s.
 	MaxDeadline time.Duration
@@ -106,6 +111,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxPaths <= 0 {
 		c.MaxPaths = 1 << 22
 	}
+	if c.MaxScenarioCells <= 0 {
+		c.MaxScenarioCells = 16384
+	}
 	if c.MaxDeadline <= 0 {
 		c.MaxDeadline = 30 * time.Second
 	}
@@ -144,6 +152,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/price", s.handlePrice)
 	mux.HandleFunc("/greeks", s.handleGreeks)
+	mux.HandleFunc("/scenario", s.handleScenario)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux = mux
@@ -157,7 +166,7 @@ func (s *Server) Handler() http.Handler { return s }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
-	case "/price", "/greeks", "/statsz", "/healthz":
+	case "/price", "/greeks", "/scenario", "/statsz", "/healthz":
 		s.mux.ServeHTTP(w, r)
 	default:
 		s.writeError(w, http.StatusNotFound, "no such endpoint")

@@ -147,6 +147,13 @@ type Router struct {
 	corrupt      atomic.Uint64
 	healthSweeps atomic.Uint64
 
+	// scenarioRequests counts /scenario requests; scenarioScattered the
+	// subset split across replicas; scenarioPartitionsSent the sub-range
+	// dispatches those splits produced.
+	scenarioRequests       atomic.Uint64
+	scenarioScattered      atomic.Uint64
+	scenarioPartitionsSent atomic.Uint64
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
@@ -195,11 +202,14 @@ func (r *Router) Close() {
 }
 
 // ServeHTTP implements http.Handler: /price and /greeks are routed to
-// replicas; /statsz and /healthz report the router's own state.
+// replicas; /scenario is scatter-gathered across them (see scenario.go);
+// /statsz and /healthz report the router's own state.
 func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	switch req.URL.Path {
 	case "/price", "/greeks":
 		r.route(w, req)
+	case "/scenario":
+		r.routeScenario(w, req)
 	case "/statsz":
 		r.handleStatsz(w, req)
 	case "/healthz":

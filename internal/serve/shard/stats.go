@@ -35,6 +35,13 @@ type StatszResponse struct {
 	BudgetDenied uint64 `json:"retry_budget_denied"`
 	HealthSweeps uint64 `json:"health_sweeps"`
 
+	// ScenarioRequests counts /scenario requests; ScenarioScattered the
+	// subset split across replicas; ScenarioPartitions the sub-range
+	// dispatches those splits produced.
+	ScenarioRequests   uint64 `json:"scenario_requests"`
+	ScenarioScattered  uint64 `json:"scenario_scattered"`
+	ScenarioPartitions uint64 `json:"scenario_partitions"`
+
 	UptimeS float64 `json:"uptime_s"`
 
 	// Cache is the router-level content cache's counters (a fixed
@@ -62,6 +69,10 @@ func (r *Router) Snapshot() StatszResponse {
 		Corrupt:      r.corrupt.Load(),
 		HealthSweeps: r.healthSweeps.Load(),
 		UptimeS:      time.Since(r.start).Seconds(),
+
+		ScenarioRequests:   r.scenarioRequests.Load(),
+		ScenarioScattered:  r.scenarioScattered.Load(),
+		ScenarioPartitions: r.scenarioPartitionsSent.Load(),
 	}
 	snap.BudgetSpent, snap.BudgetDenied = r.budget.Counters()
 	if r.cache != nil {

@@ -85,7 +85,7 @@ func (h *hist) snapshot() histJSON {
 // latencyMethods are the histogram keys (pricing methods plus greeks).
 var latencyMethods = []string{
 	"closed-form", "binomial-tree", "crank-nicolson",
-	"monte-carlo", "trinomial-tree", "greeks",
+	"monte-carlo", "trinomial-tree", "greeks", "scenario",
 }
 
 // stats aggregates server-wide counters.
@@ -94,6 +94,11 @@ type stats struct {
 
 	priceRequests  atomic.Uint64
 	greeksRequests atomic.Uint64
+	// scenarioRequests counts /scenario requests; scenarioCells counts
+	// scenario cells evaluated by successful responses (sub-range
+	// requests count only their own cells).
+	scenarioRequests atomic.Uint64
+	scenarioCells    atomic.Uint64
 	// columnarRequests counts /price requests carrying columnar framing
 	// (binary frame or JSON-framed columns).
 	columnarRequests atomic.Uint64
@@ -166,6 +171,10 @@ type StatszResponse struct {
 
 	Coalesce map[string]uint64 `json:"coalesce"`
 
+	// Scenario is the scenario engine's work counters: requests seen and
+	// cells evaluated by successful responses.
+	Scenario map[string]uint64 `json:"scenario"`
+
 	LatencyUS map[string]histJSON `json:"latency_us"`
 
 	// Sched is the parallel pool's cumulative scheduler counters
@@ -193,6 +202,7 @@ func (s *Server) statszSnapshot() StatszResponse {
 			"price":          st.priceRequests.Load(),
 			"greeks":         st.greeksRequests.Load(),
 			"price_columnar": st.columnarRequests.Load(),
+			"scenario":       st.scenarioRequests.Load(),
 		},
 		Codes: map[string]uint64{
 			"200": st.code200.Load(),
@@ -219,6 +229,10 @@ func (s *Server) statszSnapshot() StatszResponse {
 			"solo_flushes":      co.SoloFlushes,
 			"coalesced_tickets": co.CoalescedTickets,
 			"batched_options":   co.BatchedOptions,
+		},
+		Scenario: map[string]uint64{
+			"requests": st.scenarioRequests.Load(),
+			"cells":    st.scenarioCells.Load(),
 		},
 		LatencyUS: make(map[string]histJSON, len(latencyMethods)),
 		Sched:     parallel.Sched().Map(),

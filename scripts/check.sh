@@ -76,6 +76,7 @@ else
 		./internal/bench \
 		./internal/resilience \
 		./internal/fault \
+		./internal/scenario \
 		./internal/serve \
 		./internal/serve/coalesce \
 		./internal/serve/pricecache \

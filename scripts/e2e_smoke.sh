@@ -22,6 +22,12 @@
 #   phase 8  columnar framing: binary-frame /price 200s must bit-match a
 #            JSON replay of the same contracts (loadgen cross-checks every
 #            columnar 200), against a lone replica AND through the router
+#   phase 9  scenario scatter-gather: /scenario 200s must be byte-identical
+#            to the library's scenario engine against a lone replica AND
+#            through a 2-replica router that splits the grid (loadgen
+#            recomputes every 200); then a replica is killed mid-burst and
+#            the router must fail unfinished partitions over with every
+#            response still 200 and byte-clean
 #
 # Usage: ./scripts/e2e_smoke.sh   (E2E_PORT overrides the default port)
 set -euo pipefail
@@ -181,6 +187,55 @@ boot
 	-mix "closed-form=1,greeks=1" -options 8 -wire columnar -seed 9 \
 	-verify -assert-codes 200 -min-count 200:48 ||
 	fail "phase 8b (columnar against a replica)"
+stop_drain 5000
+
+echo "==> e2e phase 9a: scenario engine against a lone replica (byte-identity)"
+boot
+"$BIN" loadgen -url "$URL" -requests 24 -concurrency 4 \
+	-scenario -options 6 -scenario-gens 4 \
+	-verify -assert-codes 200 -min-count 200:24 ||
+	fail "phase 9a (scenario against a replica)"
+stop_drain 5000
+
+echo "==> e2e phase 9b: scenario scatter-gather through a 2-replica router"
+: >"$LOG"
+"$BIN" route -addr "127.0.0.1:${PORT}" -replicas 2 -port-base "$((PORT + 600))" \
+	-restart-delay 700ms -health-interval 300ms >>"$LOG" 2>&1 &
+SERVER_PID=$!
+wait_port
+for _ in $(seq 1 100); do
+	resp=$( (exec 3<>"/dev/tcp/127.0.0.1/${PORT}" &&
+		printf 'GET /healthz HTTP/1.0\r\n\r\n' >&3 && cat <&3) 2>/dev/null || true)
+	if grep -q '"replicas_routable":2' <<<"$resp"; then
+		break
+	fi
+	sleep 0.1
+done
+# Every 200 must be byte-identical to the library's evaluate+finalize —
+# through the split/merge path (-assert-min-scattered proves the router
+# actually partitioned the grid rather than passing requests through).
+"$BIN" loadgen -url "$URL" -requests 24 -concurrency 4 \
+	-scenario -options 6 -scenario-gens 4 \
+	-verify -assert-codes 200 -min-count 200:24 -assert-min-scattered 20 ||
+	fail "phase 9b (scenario scatter-gather byte-identity)"
+
+echo "==> e2e phase 9c: replica killed mid-scenario-burst; partitions fail over"
+# Grid-only scenarios: every partition is closed-form, so the router may
+# re-attempt any of them on the surviving replica. Availability must stay
+# 100% and every merged 200 must still bit-match the library.
+"$BIN" loadgen -url "$URL" -requests 300 -concurrency 4 \
+	-scenario -options 6 \
+	-verify -assert-availability 100 >"$TMP/scenario_burst.out" 2>&1 &
+BURST_PID=$!
+sleep 0.15
+VICTIM=$(grep -m1 "route: replica 0 pid" "$LOG" | awk '{print $5}')
+[[ -n "$VICTIM" ]] || fail "could not find replica 0 pid in router log"
+kill -KILL "$VICTIM" 2>/dev/null || true
+if ! wait "$BURST_PID"; then
+	cat "$TMP/scenario_burst.out" >&2 || true
+	fail "phase 9c (scenario partition failover through a replica kill)"
+fi
+cat "$TMP/scenario_burst.out"
 stop_drain 5000
 
 echo "e2e: all phases passed"
