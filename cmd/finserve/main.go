@@ -50,6 +50,7 @@ import (
 	"finbench/internal/fault"
 	"finbench/internal/serve"
 	"finbench/internal/serve/loadgen"
+	"finbench/internal/serve/stream"
 )
 
 func main() {
@@ -128,6 +129,16 @@ func runServe(args []string) int {
 		drainTO      = fs.Duration("drain-timeout", 5*time.Second, "max time to drain on SIGTERM")
 		drainLinger  = fs.Duration("drain-linger", 300*time.Millisecond, "how long the listener keeps answering fast 503s before it stops accepting")
 		faultSpec    = fs.String("fault-spec", "", "deterministic fault injection seed:rate:kinds (chaos runs)")
+
+		streamOn       = fs.Bool("stream", false, "enable the GET /stream SSE Greeks feed")
+		streamUniverse = fs.Int("stream-universe", 0, "streaming contract-universe size (0 = default)")
+		streamUnder    = fs.Int("stream-underlyings", 0, "streaming underlying count (0 = default)")
+		streamSeed     = fs.Uint64("stream-seed", 0, "streaming feed seed (0 = default)")
+		streamInterval = fs.Duration("stream-interval", 0, "market tick interval (0 = default)")
+		streamBudget   = fs.Duration("stream-budget", 0, "per-tick repricing budget (0 = tick interval)")
+		streamSpotThr  = fs.Float64("stream-spot-threshold", 0, "relative spot move that dirties a contract (0 = default)")
+		streamSubBuf   = fs.Int("stream-sub-buffer", 0, "per-subscriber event buffer (0 = default)")
+		streamWriteTO  = fs.Duration("stream-write-timeout", 0, "per-frame write deadline before a stalled client is dropped (0 = default)")
 	)
 	_ = fs.Parse(args)
 
@@ -142,7 +153,7 @@ func runServe(args []string) int {
 		fmt.Fprintf(os.Stderr, "finserve: fault injection %s (digest %016x over 4096)\n", spec, spec.Digest(4096))
 	}
 
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		Market:           finbench.Market{Rate: *mktRate, Volatility: *mktVol},
 		MaxUnits:         *maxUnits,
 		AdmitWait:        *admitWait,
@@ -157,7 +168,20 @@ func runServe(args []string) int {
 		Degrade:          *degrade,
 		CacheBytes:       *cacheBytes,
 		CacheTTL:         *cacheTTL,
-	})
+	}
+	if *streamOn {
+		cfg.Stream = &stream.Config{
+			Universe:         *streamUniverse,
+			Underlyings:      *streamUnder,
+			Seed:             *streamSeed,
+			Interval:         *streamInterval,
+			Budget:           *streamBudget,
+			SpotThreshold:    *streamSpotThr,
+			SubscriberBuffer: *streamSubBuf,
+		}
+		cfg.StreamWriteTimeout = *streamWriteTO
+	}
+	s := serve.New(cfg)
 	defer s.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -234,8 +258,28 @@ func runLoadgen(args []string) int {
 		scenGrid     = fs.String("scenario-grid", "5x3x3", "scenario shock grid as SPOTxVOLxRATE counts")
 		scenGens     = fs.Int("scenario-gens", 0, "scenarios per generator (adds one heston, jump and basket generator each; 0 = grid only)")
 		minScattered = fs.Int("assert-min-scattered", 0, "require at least N scenario 200s split across replicas by the router")
+
+		streamMode    = fs.Bool("stream", false, "drive GET /stream SSE subscribers instead of the request mix; with -verify every pushed entry is recomputed cold from its echoed inputs and must bit-match")
+		streamClients = fs.Int("stream-clients", 4, "concurrent SSE subscribers")
+		streamSlow    = fs.Int("stream-slow", 0, "additional deliberately slow subscribers; each must observe a resync snapshot")
+		streamPause   = fs.Duration("stream-slow-pause", 0, "slow subscriber's one-time stall (0 = default; keep under the server write timeout)")
+		streamFor     = fs.Duration("stream-duration", 3*time.Second, "how long each subscriber listens")
+		streamUni     = fs.Int("stream-universe", 0, "server's streaming universe size, for subscription ranges (0 = default)")
+		streamSub     = fs.Int("stream-sub", 0, "contracts per subscription (0 = universe/4)")
+		maxStaleMS    = fs.Float64("assert-max-staleness-ms", -1, "maximum p99 tick-to-receive staleness in ms (-1 = no check; same-host clocks assumed)")
+		minEvents     = fs.Uint64("assert-min-events", 0, "require at least N snapshot+greeks events across all subscribers")
 	)
 	_ = fs.Parse(args)
+
+	if *streamMode {
+		return runStreamLoadgen(streamLoadgenOpts{
+			url: *url, clients: *streamClients, slow: *streamSlow,
+			pause: *streamPause, duration: *streamFor,
+			universe: *streamUni, sub: *streamSub,
+			seed: *seed, verify: *verify,
+			maxStaleMS: *maxStaleMS, minEvents: *minEvents,
+		})
+	}
 
 	mix, err := loadgen.ParseMix(*mixStr)
 	if err != nil {
@@ -383,6 +427,76 @@ func runLoadgen(args []string) int {
 		} else {
 			fmt.Println("sched counters frozen: cancelled work is not reaching the pool")
 		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Println("loadgen: PASS")
+	return 0
+}
+
+// streamLoadgenOpts carries the -stream flag set into runStreamLoadgen.
+type streamLoadgenOpts struct {
+	url        string
+	clients    int
+	slow       int
+	pause      time.Duration
+	duration   time.Duration
+	universe   int
+	sub        int
+	seed       int64
+	verify     bool
+	maxStaleMS float64
+	minEvents  uint64
+}
+
+// runStreamLoadgen drives the SSE streaming mode and applies its
+// assertions: bit-exact verification, staleness ceiling, event floor, and
+// the slow-subscriber resync contract.
+func runStreamLoadgen(o streamLoadgenOpts) int {
+	rep, err := loadgen.StreamRun(loadgen.StreamOptions{
+		BaseURL:     o.url,
+		Clients:     o.clients,
+		Duration:    o.duration,
+		Universe:    o.universe,
+		SubSize:     o.sub,
+		Seed:        o.seed,
+		Verify:      o.verify,
+		SlowClients: o.slow,
+		SlowPause:   o.pause,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	fmt.Println(rep)
+
+	failed := false
+	fail := func(format string, a ...any) {
+		failed = true
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: "+format+"\n", a...)
+	}
+	if len(rep.Errors) > 0 {
+		fail("stream errors: %v", rep.Errors)
+	}
+	if o.verify && rep.Mismatch > 0 {
+		fail("%d streamed entries did not bit-match a cold repricing", rep.Mismatch)
+	}
+	if o.verify && rep.Verified == 0 && rep.Events() > 0 {
+		fail("verification requested but nothing was verified")
+	}
+	if o.minEvents > 0 && rep.Events() < o.minEvents {
+		fail("received %d events, want >= %d", rep.Events(), o.minEvents)
+	}
+	if o.maxStaleMS >= 0 {
+		if rep.StalenessP99MS > o.maxStaleMS {
+			fail("staleness p99 %.1fms above the %.1fms ceiling", rep.StalenessP99MS, o.maxStaleMS)
+		} else {
+			fmt.Printf("staleness p99 %.1fms (ceiling %.1fms)\n", rep.StalenessP99MS, o.maxStaleMS)
+		}
+	}
+	if o.slow > 0 && rep.SlowResynced < o.slow {
+		fail("%d of %d slow subscribers observed a resync snapshot", rep.SlowResynced, o.slow)
 	}
 	if failed {
 		return 1

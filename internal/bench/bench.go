@@ -133,7 +133,7 @@ func Experiments() []*Experiment {
 func order(id string) int {
 	for i, k := range []string{"tab1", "fig4", "fig5", "fig6", "tab2", "fig8", "ninja",
 		"ablate-tile", "ablate-rng", "ablate-qmc", "ablate-width", "servepath",
-		"scenario"} {
+		"scenario", "streampath"} {
 		if id == k {
 			return i
 		}

@@ -35,7 +35,7 @@ func within(t *testing.T, what string, got, lo, hi float64) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"tab1", "fig4", "fig5", "fig6", "tab2", "fig8", "ninja",
 		"ablate-tile", "ablate-rng", "ablate-qmc", "ablate-width", "servepath",
-		"scenario"}
+		"scenario", "streampath"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(exps), len(want))

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+
+	"finbench/internal/serve/stream"
+	"finbench/internal/serve/stream/ticker"
+)
+
+// streampath: per-tick cost of the streaming Greeks feed — the dirty
+// scan over the contract universe plus the worst-movers-first repriced
+// mega-batch, driven through a manual hub exactly as the repricing loop
+// runs it. The repricing rows gate allocs/op: the tick path runs at the
+// feed's interval for the process lifetime, so a new per-tick
+// allocation is steady-state garbage the snapshot diff must reject even
+// when its wall-clock cost hides inside timing noise. Zero subscribers
+// keeps fan-out marshalling out of the measurement — this experiment is
+// the pass itself, not the JSON encode.
+
+func init() {
+	register(&Experiment{
+		ID:          "streampath",
+		Title:       "Streaming feed tick path (dirty scan + repricing pass)",
+		Units:       "contracts/s",
+		Description: "One hub repricing pass per invocation via the manual Step driver: all-dirty passes at 1k and 16k contracts (alloc-gated), plus the no-mover dirty scan. Zero subscribers, so the rows measure the pass, not the encode.",
+		Measure:     measureStreamPath,
+	})
+}
+
+// streamTickRow times one repricing pass per invocation on a manual hub.
+// Every pass advances the deterministic market source, so consecutive
+// invocations see fresh ticks the way the live loop does; spotThreshold
+// <= 0 makes every pass an all-dirty full-universe reprice, while a huge
+// threshold isolates the scan (nothing ever dirties after the first
+// pass).
+func streamTickRow(label string, universe, underlyings int, spotThreshold float64) Row {
+	h := stream.New(stream.Config{
+		Universe:      universe,
+		Underlyings:   underlyings,
+		SpotThreshold: spotThreshold,
+		VolThreshold:  spotThreshold,
+		RateThreshold: spotThreshold,
+		// The budget only bounds degradation; keep it far above a real pass
+		// so every timed invocation reprices its whole planned set.
+		Budget: hubBenchBudget,
+	}, nil)
+	var st ticker.State
+	h.Source().Next(&st)
+	h.Step(&st) // untimed first pass: seed the baseline (everything unpriced is dirty)
+	return hostRow(label, universe, func() {
+		h.Source().Next(&st)
+		h.Step(&st)
+	})
+}
+
+const hubBenchBudget = 1 << 40 // ~18 minutes in nanoseconds: never degrade a timed pass
+
+func measureStreamPath(scale float64) (*Result, error) {
+	small := scaleInt(1024, scale, 256)
+	large := scaleInt(16384, scale, 1024)
+
+	r := &Result{
+		ID:    "streampath",
+		Title: fmt.Sprintf("Streaming feed tick path (%d / %d contracts)", small, large),
+		Units: "contracts/s",
+	}
+
+	// Rows 1-2: the all-dirty repricing pass — the worst tick the feed can
+	// see, and the one the per-tick budget is sized against. Gated: this
+	// path runs every interval forever.
+	for _, n := range []int{small, large} {
+		row := streamTickRow(fmt.Sprintf("all-dirty tick pass (%d contracts)", n), n, 64, -1)
+		row.GateAllocs = true
+		row.Prov = None
+		r.Rows = append(r.Rows, row)
+	}
+
+	// Row 3: the dirty scan with no movers — the steady-state floor when
+	// the walk stays inside every threshold. Not gated separately (same
+	// code path as the rows above, minus the batch).
+	r.Rows = append(r.Rows, streamTickRow(
+		fmt.Sprintf("dirty scan, no movers (%d contracts)", large), large, 64, 1e9))
+
+	r.Notes = append(r.Notes,
+		"contracts/s counts universe contracts visited per pass; the all-dirty rows also reprice all of them through the LevelAdvanced mega-batch",
+		"the all-dirty rows gate allocs/op: the tick path runs at the feed interval for the process lifetime, so per-tick garbage is a steady-state regression",
+		"zero subscribers by construction — fan-out marshalling is excluded, the rows measure the dirty scan and repricing pass alone")
+	return r, nil
+}

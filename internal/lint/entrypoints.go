@@ -35,6 +35,18 @@ const rootPkgPath = "finbench"
 // byte-identity contract the scatter-gather merge depends on.
 const scenarioPkgPath = "finbench/internal/scenario"
 
+// streamPkgPath is the streaming Greeks hub and tickerPkgPath its
+// simulated market source. The hub's RepriceFunc runs on the repricing-
+// loop goroutine concurrently with whatever goroutine constructed the
+// hub, and ticker.Run's per-tick callback runs on the ticker goroutine
+// concurrently with its launcher — a captured stream in either races
+// and breaks the feed's bit-reproducibility contract (every pushed
+// value must match a cold repricing at the echoed market state).
+const (
+	streamPkgPath = "finbench/internal/serve/stream"
+	tickerPkgPath = "finbench/internal/serve/stream/ticker"
+)
+
 // concurrentClosureFuncs maps package path to the entry points whose
 // closure argument executes concurrently (or re-executes, for Retry).
 // ForIndexed is included: its worker id makes the per-worker pattern
@@ -73,6 +85,16 @@ var concurrentClosureFuncs = map[string]map[string]bool{
 		// from the partition's cell range, never capture one.
 		"Scatter": true,
 	},
+	streamPkgPath: {
+		// New's RepriceFunc executes on the hub's repricing-loop goroutine,
+		// concurrently with the constructor's goroutine and every tick.
+		"New": true,
+	},
+	tickerPkgPath: {
+		// Run's callback fires on the ticker goroutine once per interval,
+		// concurrently with whatever launched Run.
+		"Run": true,
+	},
 }
 
 // closureHints is the per-package fix suggestion appended to the
@@ -82,6 +104,8 @@ var closureHints = map[string]string{
 	resiliencePkgPath: "derive a per-attempt stream inside the closure (hedge legs run concurrently, and a retried attempt must not continue a prior attempt's sequence)",
 	pricecachePkgPath: "derive the stream inside the compute closure from the cache key's seed (a re-dispatched compute must reproduce the leader's bytes, or the cache fans out divergent responses)",
 	scenarioPkgPath:   "derive a per-partition stream inside the closure from the partition's cells (e.g. rng.NewStream(0, rng.DeriveSeed(seed, cellIndex))); partitions evaluate concurrently and must merge to deterministic bytes",
+	streamPkgPath:     "derive the stream inside the RepriceFunc (it runs on the hub's repricing-loop goroutine; the feed's values must stay bit-reproducible against a cold repricing)",
+	tickerPkgPath:     "derive any stream inside the tick callback (it runs on the ticker goroutine; the market walk itself is already seed-deterministic via the Source)",
 }
 
 // kernelEntryCtx maps the full name of each plain (deadline-blind) kernel

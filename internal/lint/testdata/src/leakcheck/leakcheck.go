@@ -126,6 +126,53 @@ func GoodFlightWaiter(ctx context.Context, f *flightLocal) ([]byte, error) {
 	}
 }
 
+// subLocal is the SSE subscriber shape: a bounded frame buffer plus a
+// gone channel the hub closes on unsubscribe/drain.
+type subLocal struct {
+	mu      sync.Mutex
+	backlog [][]byte
+	frames  chan []byte
+	gone    chan struct{}
+}
+
+// BadSubscriberPump launches a per-subscriber writer that busy-polls a
+// locked backlog and never observes any stop signal: when the client
+// disconnects, the hub has no way to end it — one spinning goroutine
+// leaked per departed subscriber.
+func BadSubscriberPump(sub *subLocal, write func([]byte) error) {
+	go func() { // seeded violation
+		for {
+			sub.mu.Lock()
+			var f []byte
+			if len(sub.backlog) > 0 {
+				f, sub.backlog = sub.backlog[0], sub.backlog[1:]
+			}
+			sub.mu.Unlock()
+			if f != nil && write(f) != nil {
+				return
+			}
+		}
+	}()
+}
+
+// GoodSubscriberPump selects on the gone channel alongside the frame
+// buffer, so the hub's shutdown (or an unsubscribe) bounds the goroutine
+// no matter what the producer does. Clean.
+func GoodSubscriberPump(sub *subLocal, write func([]byte) error) {
+	go func() {
+		for {
+			select {
+			case <-sub.gone:
+				return
+			case f := <-sub.frames:
+				if write(f) != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
 // UnsettledAllow admits a probe and never settles it.
 func UnsettledAllow(b *resilience.Breaker) bool {
 	return b.Allow() // seeded violation

@@ -7,12 +7,15 @@ import (
 	"math/rand"
 	"time"
 
+	"finbench"
 	"finbench/internal/parallel"
 	"finbench/internal/perf"
 	"finbench/internal/resilience"
 	"finbench/internal/rng"
 	"finbench/internal/scenario"
 	"finbench/internal/serve/pricecache"
+	"finbench/internal/serve/stream"
+	"finbench/internal/serve/stream/ticker"
 )
 
 // BadSharedStream captures one stream in the closure: every worker would
@@ -165,8 +168,45 @@ func BadSharedStreamScatter(ctx context.Context, parts []scenario.Partition, dst
 // same reproducible sequence, so the merge is deterministic. Not flagged.
 func GoodPerPartitionScatter(ctx context.Context, parts []scenario.Partition, dst []float64, seed uint64) error {
 	return scenario.Scatter(ctx, parts, func(ctx context.Context, p scenario.Partition) error {
-		stream := rng.NewStream(0, rng.DeriveSeed(seed, uint64(p.Start)))
-		stream.Uniform(dst[p.Start : p.Start+p.Count])
+		s := rng.NewStream(0, rng.DeriveSeed(seed, uint64(p.Start)))
+		s.Uniform(dst[p.Start : p.Start+p.Count])
 		return nil
+	})
+}
+
+// BadSharedStreamReprice captures one stream in the streaming hub's
+// RepriceFunc: the closure runs on the repricing-loop goroutine every
+// tick, racing the constructor's goroutine on the twister state — and
+// the feed's values would no longer bit-match a cold repricing.
+func BadSharedStreamReprice(dst []float64, seed uint64) *stream.Hub {
+	s := rng.NewStream(0, seed)
+	return stream.New(stream.Config{}, func(ctx context.Context, b *finbench.Batch, m finbench.Market) error {
+		s.Uniform(dst) // seeded violation
+		return finbench.PriceBatchCtx(ctx, b, m, finbench.LevelAdvanced)
+	})
+}
+
+// GoodClosedFormReprice needs no RNG at all — the closed-form engines the
+// feed is restricted to are deterministic by construction. Not flagged.
+func GoodClosedFormReprice() *stream.Hub {
+	return stream.New(stream.Config{}, func(ctx context.Context, b *finbench.Batch, m finbench.Market) error {
+		return finbench.PriceBatchCtx(ctx, b, m, finbench.LevelAdvanced)
+	})
+}
+
+// BadSharedRandTick captures a *math/rand.Rand in the ticker's per-tick
+// callback: the callback fires on the ticker goroutine, racing whatever
+// launched Run — and the walk stops being seed-reproducible.
+func BadSharedRandTick(src *ticker.Source, stop <-chan struct{}, r *rand.Rand, jitter []float64) {
+	ticker.Run(src, time.Millisecond, stop, func(st *ticker.State) {
+		jitter[0] = r.Float64() // seeded violation
+	})
+}
+
+// GoodDeterministicTick consumes only the seed-deterministic State the
+// Source hands it. Not flagged.
+func GoodDeterministicTick(src *ticker.Source, stop <-chan struct{}, deposit func(*ticker.State)) {
+	ticker.Run(src, time.Millisecond, stop, func(st *ticker.State) {
+		deposit(st)
 	})
 }

@@ -1,4 +1,10 @@
-package serve
+// Package deadline provides a pooled replacement for context.WithTimeout
+// on latency-sensitive paths. context.WithTimeout allocates a timerCtx, a
+// timer, and a stop closure per call; this recycles one object with one
+// timer that lives as long as the pool entry. It is shared by the serve
+// request handlers (one Ctx per request) and the streaming repricing loop
+// (one Ctx per tick budget).
+package deadline
 
 import (
 	"context"
@@ -7,17 +13,15 @@ import (
 	"time"
 )
 
-// deadlineCtx is a pooled replacement for context.WithTimeout on the
-// request hot path. context.WithTimeout allocates a timerCtx, a timer,
-// and a stop closure per call; this recycles one object with one timer
-// that lives as long as the pool entry.
+// Ctx is a pooled context that is done at a fixed deadline or when its
+// parent is cancelled, whichever comes first.
 //
 // The Done channel is a real channel — the pricing kernels fast-path
 // `ctx.Done() == nil` as "cancellation disabled", so a lazily-nil Done
 // would silently turn deadlines off. The channel is only closed when the
-// deadline actually fires (or the parent cancels); release abandons the
+// deadline actually fires (or the parent cancels); Release abandons the
 // object in that case, because a closed channel cannot signal again.
-type deadlineCtx struct {
+type Ctx struct {
 	parent     context.Context
 	deadline   time.Time
 	done       chan struct{}
@@ -26,15 +30,15 @@ type deadlineCtx struct {
 	fired      atomic.Bool
 }
 
-var dctxPool = sync.Pool{
-	New: func() any { return &deadlineCtx{done: make(chan struct{})} },
+var pool = sync.Pool{
+	New: func() any { return &Ctx{done: make(chan struct{})} },
 }
 
-// acquireDeadline returns a context that is done at deadline or when
-// parent is cancelled, whichever is first. Release it with release();
-// after release the context must not be used.
-func acquireDeadline(parent context.Context, deadline time.Time) *deadlineCtx {
-	d := dctxPool.Get().(*deadlineCtx)
+// Acquire returns a context that is done at deadline or when parent is
+// cancelled, whichever is first. Release it with Release(); after Release
+// the context must not be used.
+func Acquire(parent context.Context, deadline time.Time) *Ctx {
+	d := pool.Get().(*Ctx)
 	d.parent = parent
 	d.deadline = deadline
 	if d.timer == nil {
@@ -55,16 +59,16 @@ func acquireDeadline(parent context.Context, deadline time.Time) *deadlineCtx {
 	return d
 }
 
-func (d *deadlineCtx) fire() {
+func (d *Ctx) fire() {
 	if d.fired.CompareAndSwap(false, true) {
 		close(d.done)
 	}
 }
 
-// release returns the context to the pool. If the deadline fired (the
+// Release returns the context to the pool. If the deadline fired (the
 // done channel is closed, or a fire may be in flight), the object is
 // abandoned instead — correctness over reuse.
-func (d *deadlineCtx) release() {
+func (d *Ctx) Release() {
 	reusable := d.timer.Stop()
 	if d.stopParent != nil {
 		if !d.stopParent() {
@@ -76,22 +80,22 @@ func (d *deadlineCtx) release() {
 	if !reusable || d.fired.Load() {
 		return
 	}
-	dctxPool.Put(d)
+	pool.Put(d)
 }
 
-// expired reports whether the deadline has passed or the parent was
-// cancelled. Unlike Err it also consults the wall clock, so a handler
+// Expired reports whether the deadline has passed or the parent was
+// cancelled. Unlike Err it also consults the wall clock, so a caller
 // polling between work items observes an expired deadline even before
 // the timer goroutine has been scheduled (e.g. a busy single-P runtime).
-func (d *deadlineCtx) expired() bool {
+func (d *Ctx) Expired() bool {
 	return d.Err() != nil || !time.Now().Before(d.deadline)
 }
 
-func (d *deadlineCtx) Deadline() (time.Time, bool) { return d.deadline, true }
+func (d *Ctx) Deadline() (time.Time, bool) { return d.deadline, true }
 
-func (d *deadlineCtx) Done() <-chan struct{} { return d.done }
+func (d *Ctx) Done() <-chan struct{} { return d.done }
 
-func (d *deadlineCtx) Err() error {
+func (d *Ctx) Err() error {
 	select {
 	case <-d.done:
 		if p := d.parent; p != nil {
@@ -105,7 +109,7 @@ func (d *deadlineCtx) Err() error {
 	}
 }
 
-func (d *deadlineCtx) Value(key any) any {
+func (d *Ctx) Value(key any) any {
 	if p := d.parent; p != nil {
 		return p.Value(key)
 	}

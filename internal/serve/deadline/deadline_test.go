@@ -1,0 +1,92 @@
+package deadline
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestExpiresAtDeadline(t *testing.T) {
+	d := Acquire(context.Background(), time.Now().Add(20*time.Millisecond))
+	defer d.Release()
+	if d.Expired() {
+		t.Fatal("expired immediately")
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err before deadline = %v", err)
+	}
+	select {
+	case <-d.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done never closed")
+	}
+	if !d.Expired() {
+		t.Fatal("not expired after the deadline fired")
+	}
+	if err := d.Err(); err != context.DeadlineExceeded {
+		t.Fatalf("Err after deadline = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestExpiredConsultsWallClock: Expired must report true once the
+// deadline has passed even if the timer goroutine has not run yet —
+// the repricing loop polls it between chunks on a busy runtime.
+func TestExpiredConsultsWallClock(t *testing.T) {
+	d := Acquire(context.Background(), time.Now().Add(-time.Millisecond))
+	defer d.Release()
+	if !d.Expired() {
+		t.Fatal("past deadline not reported expired")
+	}
+}
+
+func TestParentCancellationPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	d := Acquire(ctx, time.Now().Add(time.Hour))
+	defer d.Release()
+	cancel()
+	select {
+	case <-d.Done():
+	case <-time.After(time.Second):
+		t.Fatal("parent cancellation never propagated")
+	}
+	if err := d.Err(); err != context.Canceled {
+		t.Fatalf("Err = %v, want Canceled", err)
+	}
+}
+
+func TestAlreadyCancelledParent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := Acquire(ctx, time.Now().Add(time.Hour))
+	defer d.Release()
+	// Synchronous fire: the first Err check must already observe it.
+	if d.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want Canceled immediately", d.Err())
+	}
+}
+
+// TestReleaseReuseIsClean: a released-unfired Ctx that the pool hands
+// back must behave like a fresh one (no stale done channel, deadline,
+// or parent).
+func TestReleaseReuseIsClean(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		d := Acquire(context.Background(), time.Now().Add(time.Hour))
+		if d.Expired() || d.Err() != nil {
+			t.Fatalf("iteration %d: reused Ctx born expired", i)
+		}
+		if dl, ok := d.Deadline(); !ok || time.Until(dl) < 30*time.Minute {
+			t.Fatalf("iteration %d: stale deadline %v", i, dl)
+		}
+		d.Release()
+	}
+}
+
+func TestValueDelegatesToParent(t *testing.T) {
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	d := Acquire(ctx, time.Now().Add(time.Hour))
+	defer d.Release()
+	if d.Value(key{}) != "v" {
+		t.Fatal("Value not delegated to parent")
+	}
+}

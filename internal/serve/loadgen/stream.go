@@ -1,0 +1,349 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"finbench"
+	"finbench/internal/rng"
+	"finbench/internal/serve/stream"
+)
+
+// Streaming mode: N concurrent SSE subscribers with seed-deterministic
+// subscription sets, measuring tick→push staleness from each event's
+// echoed tick timestamp and — with Verify — recomputing every pushed
+// entry cold against the library. An entry echoes the exact inputs it
+// was priced from, so verification needs no knowledge of the server's
+// universe or tick sequence: reprice a one-option LevelAdvanced batch at
+// the echoed inputs (composition independence makes that bit-identical
+// to the server's mega-batch) and the scalar greeks, then compare every
+// float bit-for-bit.
+//
+// SlowClients additionally run deliberately slow subscribers (a pause
+// after every event) to provoke the server's backpressure: their buffers
+// overflow, deltas drop, and the protocol's promise is that the next
+// delivered state event is a full snapshot with resync=true — which is
+// asserted, per slow client.
+
+// streamSubTag namespaces the subscription-choice rng stream.
+const streamSubTag = 0x5feed
+
+// StreamOptions configures a streaming run; zero values select defaults.
+type StreamOptions struct {
+	BaseURL  string
+	Clients  int           // concurrent well-behaved subscribers (default 4)
+	Duration time.Duration // how long each client listens (default 3s)
+
+	// Universe is the server's contract universe (subscription ranges are
+	// drawn inside it; default 1024). SubSize is each client's contract
+	// count (default universe/4, min 1).
+	Universe int
+	SubSize  int
+
+	Seed   int64
+	Verify bool
+
+	// SlowClients run deliberately slow subscribers over the whole
+	// universe: after the first greeks delta each stalls once for
+	// SlowPause (default 1200ms — must stay under the server's stream
+	// write timeout, or the server rightly disconnects the stall instead),
+	// then reads flat out. The stall overflows the per-subscriber buffer
+	// (kernel socket buffers can absorb a merely-paced reader, so a full
+	// stop is the reliable provocation) and the client must then observe a
+	// resync=true snapshot — the backpressure contract.
+	SlowClients int
+	SlowPause   time.Duration
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.Duration <= 0 {
+		o.Duration = 3 * time.Second
+	}
+	if o.Universe <= 0 {
+		o.Universe = 1024
+	}
+	if o.SubSize <= 0 {
+		o.SubSize = o.Universe / 4
+	}
+	if o.SubSize < 1 {
+		o.SubSize = 1
+	}
+	if o.SubSize > o.Universe {
+		o.SubSize = o.Universe
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SlowPause <= 0 {
+		o.SlowPause = 1200 * time.Millisecond
+	}
+	return o
+}
+
+// StreamReport aggregates a streaming run.
+type StreamReport struct {
+	Clients     int `json:"clients"`
+	SlowClients int `json:"slow_clients"`
+
+	Hellos    uint64 `json:"hellos"`
+	Snapshots uint64 `json:"snapshots"`
+	Greeks    uint64 `json:"greeks_events"`
+	Resyncs   uint64 `json:"resyncs"`
+	Goodbyes  uint64 `json:"goodbyes"`
+	Degraded  uint64 `json:"degraded_events"`
+	Entries   uint64 `json:"entries"`
+
+	Verified uint64 `json:"verified"`
+	Mismatch uint64 `json:"mismatch"`
+
+	// StalenessP50MS/P99MS are tick→receive latencies measured from each
+	// event's echoed tick wall clock (valid when client and server share
+	// a clock — the e2e harness runs both on one host). Slow clients are
+	// excluded: their lag is the experiment, not the server's latency.
+	StalenessP50MS float64 `json:"staleness_p50_ms"`
+	StalenessP99MS float64 `json:"staleness_p99_ms"`
+
+	// SlowResynced counts slow clients that observed at least one
+	// resync=true snapshot (the backpressure contract).
+	SlowResynced int `json:"slow_resynced"`
+
+	Errors map[string]int `json:"errors,omitempty"`
+}
+
+// Events is the total state-bearing events received.
+func (r *StreamReport) Events() uint64 { return r.Snapshots + r.Greeks }
+
+// String renders the report for logs.
+func (r *StreamReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stream clients=%d slow=%d hellos=%d snapshots=%d greeks=%d resyncs=%d goodbyes=%d entries=%d",
+		r.Clients, r.SlowClients, r.Hellos, r.Snapshots, r.Greeks, r.Resyncs, r.Goodbyes, r.Entries)
+	if r.Degraded > 0 {
+		fmt.Fprintf(&b, " degraded=%d", r.Degraded)
+	}
+	if r.Verified > 0 || r.Mismatch > 0 {
+		fmt.Fprintf(&b, " verified=%d mismatch=%d", r.Verified, r.Mismatch)
+	}
+	if r.Events() > 0 {
+		fmt.Fprintf(&b, " staleness_p50=%.1fms p99=%.1fms", r.StalenessP50MS, r.StalenessP99MS)
+	}
+	if r.SlowClients > 0 {
+		fmt.Fprintf(&b, " slow_resynced=%d", r.SlowResynced)
+	}
+	errs := make([]string, 0, len(r.Errors))
+	for e := range r.Errors {
+		errs = append(errs, e)
+	}
+	sort.Strings(errs)
+	for _, e := range errs {
+		fmt.Fprintf(&b, " error[%s]=%d", e, r.Errors[e])
+	}
+	return b.String()
+}
+
+// streamClientResult is one subscriber's tally.
+type streamClientResult struct {
+	hellos, snapshots, greeks, resyncs, goodbyes, degraded uint64
+	entries, verified, mismatch                            uint64
+	stalenessMS                                            []float64
+	sawResync                                              bool
+	err                                                    error
+}
+
+// StreamRun drives the streaming load: Clients+SlowClients concurrent
+// subscribers for Duration each.
+func StreamRun(o StreamOptions) (*StreamReport, error) {
+	o = o.withDefaults()
+	total := o.Clients + o.SlowClients
+	results := make([]streamClientResult, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runStreamClient(o, i, i >= o.Clients)
+		}(i)
+	}
+	wg.Wait()
+
+	rep := &StreamReport{Clients: o.Clients, SlowClients: o.SlowClients}
+	var staleness []float64
+	for i := range results {
+		res := &results[i]
+		rep.Hellos += res.hellos
+		rep.Snapshots += res.snapshots
+		rep.Greeks += res.greeks
+		rep.Resyncs += res.resyncs
+		rep.Goodbyes += res.goodbyes
+		rep.Degraded += res.degraded
+		rep.Entries += res.entries
+		rep.Verified += res.verified
+		rep.Mismatch += res.mismatch
+		if i < o.Clients {
+			staleness = append(staleness, res.stalenessMS...)
+		} else if res.sawResync {
+			rep.SlowResynced++
+		}
+		if res.err != nil {
+			if rep.Errors == nil {
+				rep.Errors = make(map[string]int)
+			}
+			rep.Errors[res.err.Error()]++
+		}
+	}
+	rep.StalenessP50MS = percentile(staleness, 0.50)
+	rep.StalenessP99MS = percentile(staleness, 0.99)
+	return rep, nil
+}
+
+// subscriptionRange picks client i's seed-deterministic contiguous
+// contract range inside the universe.
+func subscriptionRange(o StreamOptions, i int) (lo, hi int) {
+	s := rng.NewStream(i, rng.DeriveSeed(uint64(o.Seed), streamSubTag))
+	u := make([]float64, 1)
+	s.Uniform(u)
+	span := o.Universe - o.SubSize
+	lo = int(u[0] * float64(span+1))
+	if lo > span {
+		lo = span
+	}
+	return lo, lo + o.SubSize - 1
+}
+
+// runStreamClient is one subscriber: subscribe, read frames until the
+// duration elapses (the request context deadline ends the body read) or
+// the server says goodbye, tallying and optionally verifying everything.
+func runStreamClient(o StreamOptions, id int, slow bool) streamClientResult {
+	var res streamClientResult
+	lo, hi := subscriptionRange(o, id)
+	if slow {
+		// The whole universe: the biggest frames, so the one stall below
+		// reliably fills every buffer between hub and reader.
+		lo, hi = 0, o.Universe-1
+	}
+	url := fmt.Sprintf("%s/stream?contracts=%d-%d", o.BaseURL, lo, hi)
+	ctx, cancel := context.WithTimeout(context.Background(), o.Duration)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		res.err = fmt.Errorf("subscribe: %w", err)
+		return res
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		res.err = fmt.Errorf("subscribe: status %d", resp.StatusCode)
+		return res
+	}
+
+	verifyBatch := finbench.NewBatch(1)
+	stalled := !slow // a slow client owes exactly one stall
+	fr := stream.NewFrameReader(resp.Body)
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			// The context deadline (run over) or a server-side disconnect
+			// ends the read; both are normal stream ends here.
+			return res
+		}
+		switch f.Event {
+		case stream.EventHello:
+			res.hellos++
+		case stream.EventGoodbye:
+			res.goodbyes++
+			return res
+		case stream.EventSnapshot, stream.EventGreeks:
+			received := time.Now().UnixNano()
+			var ev stream.Event
+			if err := json.Unmarshal(f.Data, &ev); err != nil {
+				res.err = fmt.Errorf("decode %s event: %w", f.Event, err)
+				return res
+			}
+			if f.Event == stream.EventSnapshot {
+				res.snapshots++
+				if ev.Resync {
+					res.resyncs++
+					res.sawResync = true
+				}
+			} else {
+				res.greeks++
+			}
+			if ev.Degraded {
+				res.degraded++
+			}
+			res.entries += uint64(len(ev.Contracts))
+			res.stalenessMS = append(res.stalenessMS, float64(received-ev.TickNS)/1e6)
+			if o.Verify {
+				verifyEntries(&res, verifyBatch, ev.Contracts)
+			}
+			if !stalled && f.Event == stream.EventGreeks {
+				// The one deliberate stall: stop reading entirely so the
+				// pipeline backs up and the subscriber buffer overflows,
+				// then resume flat out to reach the resync snapshot.
+				stalled = true
+				select {
+				case <-ctx.Done():
+					return res
+				case <-time.After(o.SlowPause):
+				}
+			}
+		}
+	}
+}
+
+// verifyEntries recomputes every entry cold from its echoed inputs and
+// compares bit-for-bit.
+func verifyEntries(res *streamClientResult, b *finbench.Batch, entries []stream.Entry) {
+	for i := range entries {
+		e := &entries[i]
+		b.Spots[0], b.Strikes[0], b.Expiries[0] = e.Spot, e.Strike, e.Expiry
+		m := finbench.Market{Rate: e.Rate, Volatility: e.Vol}
+		if err := finbench.PriceBatchCtx(context.Background(), b, m, finbench.LevelAdvanced); err != nil {
+			res.mismatch++
+			continue
+		}
+		wantPrice := b.Calls[0]
+		opt := finbench.Option{Type: finbench.Call, Style: finbench.European,
+			Spot: e.Spot, Strike: e.Strike, Expiry: e.Expiry}
+		if e.Type == "put" {
+			wantPrice = b.Puts[0]
+			opt.Type = finbench.Put
+		}
+		g, err := finbench.ComputeGreeks(opt, m)
+		if err != nil {
+			res.mismatch++
+			continue
+		}
+		wantDelta, wantTheta, wantRho := g.DeltaCall, g.ThetaCall, g.RhoCall
+		if e.Type == "put" {
+			wantDelta, wantTheta, wantRho = g.DeltaPut, g.ThetaPut, g.RhoPut
+		}
+		if bitsEq(e.Price, wantPrice) && bitsEq(e.Delta, wantDelta) &&
+			bitsEq(e.Gamma, g.Gamma) && bitsEq(e.Vega, g.Vega) &&
+			bitsEq(e.Theta, wantTheta) && bitsEq(e.Rho, wantRho) {
+			res.verified++
+		} else {
+			res.mismatch++
+		}
+	}
+}
+
+// bitsEq is the exact-bits comparison the streaming invariant demands —
+// not approximate equality.
+func bitsEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"finbench/internal/scenario"
+	"finbench/internal/serve/deadline"
 	"finbench/internal/serve/wire"
 )
 
@@ -75,14 +76,14 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	s.deg.noteAdmit()
 	defer s.adm.release(units)
 
-	deadline := s.cfg.MaxDeadline
+	budget := s.cfg.MaxDeadline
 	if req.DeadlineMS > 0 {
-		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < deadline {
-			deadline = d
+		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < budget {
+			budget = d
 		}
 	}
-	dctx := acquireDeadline(r.Context(), time.Now().Add(deadline))
-	defer dctx.release()
+	dctx := deadline.Acquire(r.Context(), time.Now().Add(budget))
+	defer dctx.Release()
 
 	base, pnl, err := scenario.EvaluateCells(dctx, &req, s.cfg.Market, rangeStart, cells)
 	if err != nil {

@@ -7,8 +7,8 @@
 // effective parameters under sustained overload. Every 200 response is
 // bit-reproducible from the effective method/config it reports.
 //
-// Endpoints: POST /price, POST /greeks, POST /scenario, GET /statsz,
-// GET /healthz.
+// Endpoints: POST /price, POST /greeks, POST /scenario, GET /stream
+// (SSE, when a streaming hub is configured), GET /statsz, GET /healthz.
 // Status codes: 400 malformed, 404/405 routing, 408 deadline exceeded,
 // 429 rate-limited, 503 shed or draining (with Retry-After).
 package serve
@@ -25,7 +25,9 @@ import (
 
 	"finbench"
 	"finbench/internal/serve/coalesce"
+	"finbench/internal/serve/deadline"
 	"finbench/internal/serve/pricecache"
+	"finbench/internal/serve/stream"
 	"finbench/internal/serve/wire"
 )
 
@@ -80,6 +82,16 @@ type Config struct {
 	// replays the cold response byte-for-byte.
 	CacheBytes int64
 	CacheTTL   time.Duration
+
+	// Stream enables the GET /stream SSE feed with the given hub
+	// configuration (nil disables — /stream answers 404). The hub's
+	// Market defaults to the server's.
+	Stream *stream.Config
+
+	// StreamWriteTimeout bounds one SSE frame write: a subscriber that
+	// cannot absorb a frame within it is disconnected so it never holds
+	// buffers (or the drain) hostage. Default 2s.
+	StreamWriteTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +129,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxDeadline <= 0 {
 		c.MaxDeadline = 30 * time.Second
 	}
+	if c.StreamWriteTimeout <= 0 {
+		c.StreamWriteTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -130,8 +145,13 @@ type Server struct {
 	co    *coalesce.Coalescer
 	rate  *bucket           // nil when rate limiting is disabled
 	cache *pricecache.Cache // nil when caching is disabled
+	hub   *stream.Hub       // nil when streaming is disabled
 
 	draining atomic.Bool
+	// streamActive counts open SSE handlers; Drain waits for it to reach
+	// zero (the handlers exit on their own once StartDrain closes the
+	// hub's Gone channels).
+	streamActive atomic.Int64
 }
 
 // New builds a server. Call Close when done (stops the degrade ticker and
@@ -149,10 +169,20 @@ func New(cfg Config) *Server {
 	if cfg.CacheBytes > 0 {
 		s.cache = pricecache.New(cfg.CacheBytes, cfg.CacheTTL)
 	}
+	if cfg.Stream != nil {
+		hcfg := *cfg.Stream
+		// finlint:ignore floateq zero is the untouched-field sentinel, never a computed value
+		if hcfg.Market.Volatility == 0 {
+			hcfg.Market = cfg.Market
+		}
+		s.hub = stream.New(hcfg, nil)
+		s.hub.Start()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/price", s.handlePrice)
 	mux.HandleFunc("/greeks", s.handleGreeks)
 	mux.HandleFunc("/scenario", s.handleScenario)
+	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux = mux
@@ -166,7 +196,7 @@ func (s *Server) Handler() http.Handler { return s }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
-	case "/price", "/greeks", "/scenario", "/statsz", "/healthz":
+	case "/price", "/greeks", "/scenario", "/stream", "/statsz", "/healthz":
 		s.mux.ServeHTTP(w, r)
 	default:
 		s.writeError(w, http.StatusNotFound, "no such endpoint")
@@ -181,18 +211,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) StartDrain() {
 	s.draining.Store(true)
 	s.co.Flush()
+	if s.hub != nil {
+		// Shut the hub down NOW, not at Close: closing every subscriber's
+		// Gone channel is what makes the open SSE handlers send goodbye
+		// and return, which is what lets http.Server.Shutdown (which waits
+		// for open connections) complete inside the drain window.
+		s.hub.Shutdown()
+	}
 }
 
 // Drain puts the server into draining mode (new work is refused with
 // 503), flushes the coalescer, and waits until in-flight work reaches
 // zero or ctx expires. Returns nil when fully drained.
 func (s *Server) Drain(ctx context.Context) error {
-	s.draining.Store(true)
-	s.co.Flush()
+	s.StartDrain()
 	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()
 	for {
-		if s.adm.inFlight() == 0 {
+		if s.adm.inFlight() == 0 && s.streamActive.Load() == 0 {
 			return nil
 		}
 		select {
@@ -207,6 +243,9 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Close() {
 	s.deg.close()
 	s.co.Close()
+	if s.hub != nil {
+		s.hub.Close()
+	}
 }
 
 // maxBody bounds request bodies (an option is ~90 JSON bytes; 64MB covers
@@ -337,14 +376,14 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 	defer s.adm.release(units)
 
 	// Deadline: client's, capped by the server maximum.
-	deadline := s.cfg.MaxDeadline
+	budget := s.cfg.MaxDeadline
 	if req.DeadlineMS > 0 {
-		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < deadline {
-			deadline = d
+		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < budget {
+			budget = d
 		}
 	}
-	dctx := acquireDeadline(r.Context(), time.Now().Add(deadline))
-	defer dctx.release()
+	dctx := deadline.Acquire(r.Context(), time.Now().Add(budget))
+	defer dctx.Release()
 
 	resp := wire.GetPriceResponse()
 	resp.Method = method.String()
@@ -393,13 +432,13 @@ var errShed = errors.New("work budget exhausted")
 // deadline.
 func (s *Server) servePriceCached(w http.ResponseWriter, r *http.Request, start time.Time, req *PriceRequest, cfg finbench.Config) {
 	defer wire.PutRequest(req)
-	deadline := s.cfg.MaxDeadline
+	budget := s.cfg.MaxDeadline
 	if req.DeadlineMS > 0 {
-		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < deadline {
-			deadline = d
+		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < budget {
+			budget = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
 
 	body, outcome, err := s.cache.Do(ctx, s.cacheKey(req, cfg), func(ctx context.Context) ([]byte, bool, error) {
@@ -622,19 +661,19 @@ func (s *Server) handleGreeks(w http.ResponseWriter, r *http.Request) {
 	// The documented deadline_ms, honored: client deadline capped by the
 	// server maximum, checked between options so a huge batch cannot
 	// blow past an expired deadline (or a disconnected client).
-	deadline := s.cfg.MaxDeadline
+	budget := s.cfg.MaxDeadline
 	if req.DeadlineMS > 0 {
-		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < deadline {
-			deadline = d
+		if d := time.Duration(req.DeadlineMS) * time.Millisecond; d < budget {
+			budget = d
 		}
 	}
-	dctx := acquireDeadline(r.Context(), time.Now().Add(deadline))
-	defer dctx.release()
+	dctx := deadline.Acquire(r.Context(), time.Now().Add(budget))
+	defer dctx.Release()
 
 	resp := wire.GetGreeksResponse()
 	resp.SizedResults(len(req.Options))
 	for i := range req.Options {
-		if dctx.expired() {
+		if dctx.Expired() {
 			wire.PutGreeksRequest(req)
 			wire.PutGreeksResponse(resp)
 			s.writeError(w, http.StatusRequestTimeout, "greeks deadline exceeded")

@@ -87,6 +87,11 @@ type Config struct {
 	// degraded 200s are never stored.
 	CacheBytes int64
 	CacheTTL   time.Duration
+
+	// StreamWriteTimeout bounds one SSE frame write to a /stream client;
+	// a client that cannot absorb a frame within it is disconnected.
+	// Default 2s.
+	StreamWriteTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +106,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Transport == nil {
 		c.Transport = http.DefaultTransport
+	}
+	if c.StreamWriteTimeout <= 0 {
+		c.StreamWriteTimeout = 2 * time.Second
 	}
 	return c
 }
@@ -154,6 +162,16 @@ type Router struct {
 	scenarioScattered      atomic.Uint64
 	scenarioPartitionsSent atomic.Uint64
 
+	// streamRequests counts /stream subscriptions; streamPartitions the
+	// per-replica partition streams they opened; streamResubscribes the
+	// failover re-subscriptions after an established upstream stream
+	// ended; streamSlowDrops the clients disconnected for overflowing the
+	// merged frame queue.
+	streamRequests     atomic.Uint64
+	streamPartitions   atomic.Uint64
+	streamResubscribes atomic.Uint64
+	streamSlowDrops    atomic.Uint64
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
@@ -203,6 +221,7 @@ func (r *Router) Close() {
 
 // ServeHTTP implements http.Handler: /price and /greeks are routed to
 // replicas; /scenario is scatter-gathered across them (see scenario.go);
+// /stream is partitioned across them and re-multiplexed (see stream.go);
 // /statsz and /healthz report the router's own state.
 func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	switch req.URL.Path {
@@ -210,6 +229,8 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		r.route(w, req)
 	case "/scenario":
 		r.routeScenario(w, req)
+	case "/stream":
+		r.routeStream(w, req)
 	case "/statsz":
 		r.handleStatsz(w, req)
 	case "/healthz":

@@ -42,6 +42,15 @@ type StatszResponse struct {
 	ScenarioScattered  uint64 `json:"scenario_scattered"`
 	ScenarioPartitions uint64 `json:"scenario_partitions"`
 
+	// StreamRequests counts /stream subscriptions; StreamPartitions the
+	// per-replica partition streams they opened; StreamResubscribes the
+	// failover re-subscriptions after a replica's stream ended;
+	// StreamSlowDrops the clients disconnected for falling behind.
+	StreamRequests     uint64 `json:"stream_requests"`
+	StreamPartitions   uint64 `json:"stream_partitions"`
+	StreamResubscribes uint64 `json:"stream_resubscribes"`
+	StreamSlowDrops    uint64 `json:"stream_slow_drops"`
+
 	UptimeS float64 `json:"uptime_s"`
 
 	// Cache is the router-level content cache's counters (a fixed
@@ -73,6 +82,11 @@ func (r *Router) Snapshot() StatszResponse {
 		ScenarioRequests:   r.scenarioRequests.Load(),
 		ScenarioScattered:  r.scenarioScattered.Load(),
 		ScenarioPartitions: r.scenarioPartitionsSent.Load(),
+
+		StreamRequests:     r.streamRequests.Load(),
+		StreamPartitions:   r.streamPartitions.Load(),
+		StreamResubscribes: r.streamResubscribes.Load(),
+		StreamSlowDrops:    r.streamSlowDrops.Load(),
 	}
 	snap.BudgetSpent, snap.BudgetDenied = r.budget.Counters()
 	if r.cache != nil {

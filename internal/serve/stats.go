@@ -7,6 +7,7 @@ import (
 
 	"finbench/internal/parallel"
 	"finbench/internal/serve/pricecache"
+	"finbench/internal/serve/stream"
 )
 
 // Observability. /statsz reports everything an operator needs to see the
@@ -102,6 +103,11 @@ type stats struct {
 	// columnarRequests counts /price requests carrying columnar framing
 	// (binary frame or JSON-framed columns).
 	columnarRequests atomic.Uint64
+	// streamRequests counts GET /stream subscription attempts;
+	// streamSlowDisconnects counts subscribers disconnected for missing
+	// the frame-write deadline (stalled clients).
+	streamRequests        atomic.Uint64
+	streamSlowDisconnects atomic.Uint64
 
 	code200 atomic.Uint64
 	code400 atomic.Uint64
@@ -191,6 +197,10 @@ type StatszResponse struct {
 	// struct, not a map, so snapshot encoding stays deterministic); nil
 	// when caching is disabled.
 	Cache *pricecache.Stats `json:"cache,omitempty"`
+
+	// Stream is the streaming Greeks hub's counters (fixed struct for the
+	// same determinism reason); nil when streaming is disabled.
+	Stream *stream.Stats `json:"stream,omitempty"`
 }
 
 func (s *Server) statszSnapshot() StatszResponse {
@@ -203,6 +213,7 @@ func (s *Server) statszSnapshot() StatszResponse {
 			"greeks":         st.greeksRequests.Load(),
 			"price_columnar": st.columnarRequests.Load(),
 			"scenario":       st.scenarioRequests.Load(),
+			"stream":         st.streamRequests.Load(),
 		},
 		Codes: map[string]uint64{
 			"200": st.code200.Load(),
@@ -246,6 +257,11 @@ func (s *Server) statszSnapshot() StatszResponse {
 	if s.cache != nil {
 		cs := s.cache.Snapshot()
 		out.Cache = &cs
+	}
+	if s.hub != nil {
+		hs := s.hub.Snapshot()
+		hs.SlowDisconnects = st.streamSlowDisconnects.Load()
+		out.Stream = &hs
 	}
 	return out
 }

@@ -1,0 +1,131 @@
+package stream
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+
+	"finbench/internal/rng"
+)
+
+// Contract is one subscribable instrument of the feed's universe: a
+// vanilla European option on one of the simulated underlyings. The
+// universe is a pure function of (seed, size, underlyings), so any
+// client can regenerate it from the hello event's parameters.
+type Contract struct {
+	Underlying int
+	Strike     float64
+	Expiry     float64
+	Put        bool
+}
+
+// universeTag namespaces the universe generator's stream away from the
+// ticker's walk (both derive from the one feed seed).
+const universeTag = 0x0417
+
+// UniverseContracts generates the deterministic contract universe:
+// contract i sits on underlying i%underlyings with a strike drawn
+// uniformly in [70, 130) and an expiry in [0.1, 2.1) years; every odd
+// draw is a put. Strikes bracket the 100.0 initial spots so the walk
+// keeps a mix of in/at/out-of-the-money contracts.
+func UniverseContracts(seed uint64, n, underlyings int) []Contract {
+	if underlyings <= 0 {
+		underlyings = 1
+	}
+	s := rng.NewStream(0, rng.DeriveSeed(seed, universeTag))
+	u := make([]float64, 3)
+	out := make([]Contract, n)
+	for i := range out {
+		s.Uniform(u)
+		out[i] = Contract{
+			Underlying: i % underlyings,
+			Strike:     70 + 60*u[0],
+			Expiry:     0.1 + 2*u[1],
+			Put:        u[2] >= 0.5,
+		}
+	}
+	return out
+}
+
+// maxSubscription bounds one subscription's contract count, whatever the
+// universe size (the router parses before it knows any replica's bound).
+const maxSubscription = 1 << 20
+
+// ParseSubscription resolves the /stream query's subscription grammar
+// into a sorted, deduplicated id list: `contracts` holds comma-separated
+// inclusive ranges ("0-63,128-191"; a bare "7" is the one-element range),
+// `ids` holds comma-separated single ids. universe > 0 bounds the ids; a
+// router passes universe <= 0 and lets each replica enforce its own
+// bound. Both empty returns (nil, nil): the replica serves the whole
+// universe, the router (which cannot know the universe) rejects it.
+func ParseSubscription(contracts, ids string, universe int) ([]int, error) {
+	var out []int
+	add := func(id int) error {
+		if id < 0 {
+			return errors.New("stream: negative contract id")
+		}
+		if universe > 0 && id >= universe {
+			return errors.New("stream: contract id " + strconv.Itoa(id) +
+				" outside universe of " + strconv.Itoa(universe))
+		}
+		if len(out) >= maxSubscription {
+			return errors.New("stream: subscription too large")
+		}
+		out = append(out, id)
+		return nil
+	}
+	if contracts != "" {
+		for _, part := range strings.Split(contracts, ",") {
+			lo, hi, err := parseRange(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			for id := lo; id <= hi; id++ {
+				if err := add(id); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if ids != "" {
+		for _, part := range strings.Split(ids, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, errors.New("stream: bad contract id " + strconv.Quote(part))
+			}
+			if err := add(id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if out == nil {
+		return nil, nil
+	}
+	sort.Ints(out)
+	dedup := out[:1]
+	for _, id := range out[1:] {
+		if id != dedup[len(dedup)-1] {
+			dedup = append(dedup, id)
+		}
+	}
+	return dedup, nil
+}
+
+func parseRange(s string) (lo, hi int, err error) {
+	if dash := strings.IndexByte(s, '-'); dash > 0 {
+		lo, err = strconv.Atoi(s[:dash])
+		if err == nil {
+			hi, err = strconv.Atoi(s[dash+1:])
+		}
+		if err != nil || hi < lo {
+			return 0, 0, errors.New("stream: bad contract range " + strconv.Quote(s))
+		}
+		return lo, hi, nil
+	}
+	lo, err = strconv.Atoi(s)
+	if err != nil {
+		return 0, 0, errors.New("stream: bad contract range " + strconv.Quote(s))
+	}
+	return lo, lo, nil
+}

@@ -1,0 +1,73 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestUniverseDeterministicAndInDomain(t *testing.T) {
+	a := UniverseContracts(9, 512, 16)
+	b := UniverseContracts(9, 512, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different universes")
+	}
+	puts := 0
+	for i, c := range a {
+		if c.Underlying != i%16 {
+			t.Fatalf("contract %d on underlying %d, want %d", i, c.Underlying, i%16)
+		}
+		if c.Strike < 70 || c.Strike >= 130 {
+			t.Fatalf("contract %d strike %v outside [70, 130)", i, c.Strike)
+		}
+		if c.Expiry < 0.1 || c.Expiry >= 2.1 {
+			t.Fatalf("contract %d expiry %v outside [0.1, 2.1)", i, c.Expiry)
+		}
+		if c.Put {
+			puts++
+		}
+	}
+	if puts == 0 || puts == len(a) {
+		t.Errorf("universe has %d puts of %d — want a mix", puts, len(a))
+	}
+}
+
+func TestParseSubscription(t *testing.T) {
+	cases := []struct {
+		name      string
+		contracts string
+		ids       string
+		universe  int
+		want      []int
+		wantErr   bool
+	}{
+		{name: "both empty", want: nil},
+		{name: "single range", contracts: "0-3", universe: 8, want: []int{0, 1, 2, 3}},
+		{name: "multi range with bare id", contracts: "4-5, 1", universe: 8, want: []int{1, 4, 5}},
+		{name: "ids only", ids: "3, 1,2", universe: 8, want: []int{1, 2, 3}},
+		{name: "overlap dedups", contracts: "0-2", ids: "2,0", universe: 8, want: []int{0, 1, 2}},
+		{name: "router unbounded", contracts: "1000-1002", universe: 0, want: []int{1000, 1001, 1002}},
+		{name: "out of universe", contracts: "0-8", universe: 8, wantErr: true},
+		{name: "negative", ids: "-1", universe: 8, wantErr: true},
+		{name: "inverted range", contracts: "5-2", universe: 8, wantErr: true},
+		{name: "garbage", contracts: "abc", universe: 8, wantErr: true},
+		{name: "garbage id", ids: "1,x", universe: 8, wantErr: true},
+		{name: "too large", contracts: "0-2000000", universe: 0, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseSubscription(tc.contracts, tc.ids, tc.universe)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("got %v, want an error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -82,7 +82,10 @@ else
 		./internal/serve/pricecache \
 		./internal/serve/wire \
 		./internal/serve/loadgen \
-		./internal/serve/shard
+		./internal/serve/shard \
+		./internal/serve/stream \
+		./internal/serve/stream/ticker \
+		./internal/serve/deadline
 
 	echo "==> fuzz seed corpora"
 	go test -run='^Fuzz' -count=1 -timeout 10m \

@@ -28,6 +28,13 @@
 #            recomputes every 200); then a replica is killed mid-burst and
 #            the router must fail unfinished partitions over with every
 #            response still 200 and byte-clean
+#   phase 10 streaming Greeks feed: SSE subscribers against a lone replica
+#            (every pushed entry recomputed cold from its echoed inputs and
+#            required to bit-match; a deliberately slow subscriber must
+#            observe a resync snapshot), then through a 2-replica router
+#            with a replica killed mid-stream — the orphaned partition must
+#            re-subscribe to the survivor (stream_resubscribes on /statsz)
+#            with every entry still bit-clean
 #
 # Usage: ./scripts/e2e_smoke.sh   (E2E_PORT overrides the default port)
 set -euo pipefail
@@ -236,6 +243,55 @@ if ! wait "$BURST_PID"; then
 	fail "phase 9c (scenario partition failover through a replica kill)"
 fi
 cat "$TMP/scenario_burst.out"
+stop_drain 5000
+
+echo "==> e2e phase 10a: streaming feed against a lone replica (bit-clean + slow resync)"
+# All-dirty mode (negative threshold) makes every tick reprice the whole
+# universe: frames are large enough that the slow subscriber's one-time
+# stall reliably overflows its server-side buffer (kernel socket buffers
+# absorb small-frame backlogs), forcing the drop→resync path the phase
+# asserts. -verify recomputes every pushed entry cold from its echoed
+# inputs and requires bit-equality.
+boot -stream -stream-interval 20ms -stream-spot-threshold=-1
+"$BIN" loadgen -url "$URL" -stream -stream-clients 3 -stream-slow 1 \
+	-stream-duration 4s -verify -assert-min-events 10 -assert-max-staleness-ms 500 ||
+	fail "phase 10a (stream bit-match / slow-client resync)"
+stop_drain 5000
+
+echo "==> e2e phase 10b: routed stream, replica killed mid-stream (failover resync)"
+: >"$LOG"
+"$BIN" route -addr "127.0.0.1:${PORT}" -replicas 2 -port-base "$((PORT + 700))" \
+	-restart-delay 2s -health-interval 300ms \
+	-replica-flags "-stream -stream-interval 20ms -stream-spot-threshold=-1" >>"$LOG" 2>&1 &
+SERVER_PID=$!
+wait_port
+for _ in $(seq 1 100); do
+	resp=$( (exec 3<>"/dev/tcp/127.0.0.1/${PORT}" &&
+		printf 'GET /healthz HTTP/1.0\r\n\r\n' >&3 && cat <&3) 2>/dev/null || true)
+	if grep -q '"replicas_routable":2' <<<"$resp"; then
+		break
+	fi
+	sleep 0.1
+done
+# Subscribers listen through the kill; every entry — before the kill,
+# and from the survivor's resync snapshot after it — must still bit-match
+# a cold repricing at its echoed market state.
+"$BIN" loadgen -url "$URL" -stream -stream-clients 3 -stream-duration 5s \
+	-verify -assert-min-events 10 >"$TMP/stream_burst.out" 2>&1 &
+BURST_PID=$!
+sleep 1.2
+VICTIM=$(grep -m1 "route: replica 0 pid" "$LOG" | awk '{print $5}')
+[[ -n "$VICTIM" ]] || fail "could not find replica 0 pid in router log"
+kill -KILL "$VICTIM" 2>/dev/null || true
+if ! wait "$BURST_PID"; then
+	cat "$TMP/stream_burst.out" >&2 || true
+	fail "phase 10b (routed stream bit-clean through a replica kill)"
+fi
+cat "$TMP/stream_burst.out"
+resp=$( (exec 3<>"/dev/tcp/127.0.0.1/${PORT}" &&
+	printf 'GET /statsz HTTP/1.0\r\n\r\n' >&3 && cat <&3) 2>/dev/null || true)
+grep -q '"stream_resubscribes":[1-9]' <<<"$resp" ||
+	fail "phase 10b: router /statsz recorded no stream re-subscription after the kill"
 stop_drain 5000
 
 echo "e2e: all phases passed"
